@@ -1,0 +1,46 @@
+//! Controller microbenchmarks: the paper claims the LUT look-up cost is
+//! "negligible"; this measures it, along with a full control step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vfc::control::{FlowController, FlowLut};
+use vfc::prelude::*;
+use vfc::units::TemperatureDelta;
+
+fn synthetic_lut(settings: usize) -> FlowLut {
+    let boundary: Vec<Vec<f64>> = (0..settings)
+        .map(|_| (0..settings).map(|s| 62.0 + 4.5 * s as f64).collect())
+        .collect();
+    FlowLut::from_raw(boundary, Celsius::new(80.0))
+}
+
+fn lut_lookup(c: &mut Criterion) {
+    let lut = synthetic_lut(5);
+    let pump = Pump::laing_ddc();
+    let current = pump.max_setting();
+    c.bench_function("lut_required_setting", |b| {
+        let mut t = 60.0;
+        b.iter(|| {
+            t = if t > 90.0 { 60.0 } else { t + 0.37 };
+            std::hint::black_box(lut.required_setting(current, Celsius::new(t)))
+        });
+    });
+}
+
+fn controller_step(c: &mut Criterion) {
+    let pump = Pump::laing_ddc();
+    let mut ctrl = FlowController::with_hysteresis(
+        synthetic_lut(5),
+        &pump,
+        TemperatureDelta::new(2.0),
+    );
+    c.bench_function("controller_step_100ms", |b| {
+        let mut t = 60.0;
+        b.iter(|| {
+            t = if t > 90.0 { 60.0 } else { t + 0.83 };
+            std::hint::black_box(ctrl.step(Celsius::new(t), Seconds::from_millis(100.0)))
+        });
+    });
+}
+
+criterion_group!(benches, lut_lookup, controller_step);
+criterion_main!(benches);

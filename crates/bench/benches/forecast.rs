@@ -1,0 +1,56 @@
+//! Forecasting microbenchmarks: ARMA fit, 5-step forecast, SPRT update —
+//! these run every 100 ms inside the controller, so they must be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vfc::forecast::{ArmaModel, Sprt, TemperaturePredictor};
+use vfc::prelude::*;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 75.0 + 3.0 * (i as f64 * 0.05).sin() + 0.2 * (i as f64 * 0.71).cos())
+        .collect()
+}
+
+fn arma_fit(c: &mut Criterion) {
+    let s = signal(50);
+    c.bench_function("arma_fit_2_1_window50", |b| {
+        b.iter(|| ArmaModel::fit(std::hint::black_box(&s), 2, 1).unwrap());
+    });
+}
+
+fn arma_forecast(c: &mut Criterion) {
+    let s = signal(50);
+    let m = ArmaModel::fit(&s, 2, 1).unwrap();
+    c.bench_function("arma_forecast_5step", |b| {
+        b.iter(|| std::hint::black_box(m.forecast(&s, 5)));
+    });
+}
+
+fn sprt_update(c: &mut Criterion) {
+    let mut sprt = Sprt::for_temperature_residuals();
+    c.bench_function("sprt_update", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.013) % 0.2;
+            std::hint::black_box(sprt.update(x - 0.1))
+        });
+    });
+}
+
+fn predictor_observe(c: &mut Criterion) {
+    c.bench_function("predictor_observe_and_forecast", |b| {
+        let mut p = TemperaturePredictor::paper_default();
+        for v in signal(60) {
+            p.observe(Celsius::new(v));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            p.observe(Celsius::new(75.0 + (i as f64 * 0.05).sin()));
+            std::hint::black_box(p.forecast())
+        });
+    });
+}
+
+criterion_group!(benches, arma_fit, arma_forecast, sprt_update, predictor_observe);
+criterion_main!(benches);

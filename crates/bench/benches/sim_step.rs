@@ -1,0 +1,32 @@
+//! End-to-end co-simulation throughput: one simulated second of the full
+//! loop (scheduler + power + thermal + control) for both systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vfc::prelude::*;
+use vfc::workload::Benchmark;
+
+fn sim_one_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_1s");
+    group.sample_size(10);
+    for (label, system) in [
+        ("2layer", SystemKind::TwoLayer),
+        ("4layer", SystemKind::FourLayer),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::new(
+                    system,
+                    CoolingKind::LiquidVariable,
+                    PolicyKind::Talb,
+                    Benchmark::by_name("Web-med").unwrap(),
+                )
+                .with_duration(Seconds::new(1.0));
+                Simulation::new(cfg).unwrap().run().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_one_second);
+criterion_main!(benches);

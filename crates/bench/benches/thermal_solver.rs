@@ -1,0 +1,81 @@
+//! Thermal-solver microbenchmarks: steady-state and transient cost vs
+//! grid resolution, for liquid- and air-cooled stacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vfc::floorplan::{ultrasparc, GridSpec};
+use vfc::thermal::{StackThermalBuilder, ThermalConfig};
+use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
+
+fn steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    group.sample_size(20);
+    for cell_mm in [2.0, 1.0, 0.5] {
+        for liquid in [true, false] {
+            let stack = if liquid {
+                ultrasparc::two_layer_liquid()
+            } else {
+                ultrasparc::two_layer_air()
+            };
+            let grid = GridSpec::from_cell_size(
+                stack.tiers()[0].floorplan(),
+                Length::from_millimeters(cell_mm),
+            );
+            let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+            let flow = liquid.then(|| VolumetricFlow::from_ml_per_minute(600.0));
+            let model = builder.build(flow).unwrap();
+            let p = model.uniform_block_power(&stack, |b| {
+                if b.is_core() {
+                    Watts::new(3.0)
+                } else {
+                    Watts::new(0.5)
+                }
+            });
+            let label = format!(
+                "{}-{}mm-{}nodes",
+                if liquid { "liquid" } else { "air" },
+                cell_mm,
+                model.node_count()
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(label), &model, |bench, m| {
+                bench.iter(|| m.steady_state(&p, None).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn transient_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_100ms");
+    group.sample_size(20);
+    for cell_mm in [1.0, 0.5] {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid = GridSpec::from_cell_size(
+            stack.tiers()[0].floorplan(),
+            Length::from_millimeters(cell_mm),
+        );
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let mut model = builder
+            .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
+            .unwrap();
+        let p = model.uniform_block_power(&stack, |b| {
+            if b.is_core() {
+                Watts::new(2.0)
+            } else {
+                Watts::new(0.5)
+            }
+        });
+        let steady = model.steady_state(&p, None).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("{cell_mm}mm")), |bench| {
+            let mut t = steady.clone();
+            bench.iter(|| {
+                model
+                    .step(&mut t, &p, Seconds::from_millis(100.0), 5)
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, steady_state, transient_step);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **proactive vs reactive control** — the value of the ARMA forecast
+//!    given the pump's 275 ms transition (Sec. IV motivation);
+//! 2. **hysteresis on/off** — the 2 °C down-switch guard vs oscillation;
+//! 3. **leakage feedback on/off** — how much of the energy story is the
+//!    temperature-dependent leakage;
+//! 4. **paper-constant h vs calibrated flow-scaled h** — what the
+//!    characterization looks like under the Eq. 6–7 constant-h model.
+//!
+//! Usage: ablations `<duration_seconds>`
+
+use vfc::control::characterize;
+use vfc::floorplan::{ultrasparc, BlockKind, GridSpec};
+use vfc::liquid::ConvectionModel;
+use vfc::power::LeakageModel;
+use vfc::prelude::*;
+use vfc::thermal::{StackThermalBuilder, ThermalConfig};
+use vfc::units::{TemperatureDelta, Watts};
+use vfc::workload::Benchmark;
+
+fn main() {
+    let duration = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<f64>().ok())
+        .map(Seconds::new)
+        .unwrap_or(Seconds::new(20.0));
+
+    proactive_vs_reactive(duration);
+    hysteresis(duration);
+    leakage(duration);
+    constant_h();
+}
+
+fn base_cfg(bench: &str, duration: Seconds) -> SimConfig {
+    SimConfig::new(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        Benchmark::by_name(bench).unwrap(),
+    )
+    .with_duration(duration)
+}
+
+fn proactive_vs_reactive(duration: Seconds) {
+    println!("=== ablation 1: proactive (ARMA) vs reactive control ===");
+    println!(
+        "{:<12} {:>10} {:>14} {:>12} {:>10}",
+        "workload", "mode", ">target %", "pump J", "switches"
+    );
+    for bench in ["Web-med", "Web&DB"] {
+        for proactive in [true, false] {
+            let cfg = base_cfg(bench, duration).with_proactive(proactive);
+            let r = Simulation::new(cfg).unwrap().run().unwrap();
+            println!(
+                "{:<12} {:>10} {:>14.1} {:>12.0} {:>10}",
+                bench,
+                if proactive { "proactive" } else { "reactive" },
+                r.above_target_pct,
+                r.pump_energy.value(),
+                r.controller_switches,
+            );
+        }
+    }
+    println!();
+}
+
+fn hysteresis(duration: Seconds) {
+    println!("=== ablation 2: down-switch hysteresis (paper: 2 C) ===");
+    println!(
+        "{:<12} {:>12} {:>10} {:>14} {:>12}",
+        "workload", "hysteresis", "switches", ">target %", "pump J"
+    );
+    for bench in ["Web-med", "Database"] {
+        for h in [0.0, 2.0] {
+            let cfg = base_cfg(bench, duration).with_hysteresis(TemperatureDelta::new(h));
+            let r = Simulation::new(cfg).unwrap().run().unwrap();
+            println!(
+                "{:<12} {:>11}C {:>10} {:>14.1} {:>12.0}",
+                bench, h, r.controller_switches, r.above_target_pct,
+                r.pump_energy.value(),
+            );
+        }
+    }
+    println!();
+}
+
+fn leakage(duration: Seconds) {
+    println!("=== ablation 3: temperature-dependent leakage feedback ===");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>14}",
+        "workload", "leakage", "chip J", "pump J", "Var vs Max sav%"
+    );
+    for bench in ["gzip", "Web-med"] {
+        for leak_on in [true, false] {
+            let leak = if leak_on {
+                LeakageModel::su_polynomial()
+            } else {
+                LeakageModel::disabled()
+            };
+            let var = Simulation::new(base_cfg(bench, duration).with_leakage(leak))
+                .unwrap()
+                .run()
+                .unwrap();
+            let max_cfg = SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidMax,
+                PolicyKind::Talb,
+                Benchmark::by_name(bench).unwrap(),
+            )
+            .with_duration(duration)
+            .with_leakage(leak);
+            let max = Simulation::new(max_cfg).unwrap().run().unwrap();
+            println!(
+                "{:<12} {:>10} {:>12.0} {:>12.0} {:>14.1}",
+                bench,
+                if leak_on { "su-poly" } else { "off" },
+                var.chip_energy.value(),
+                var.pump_energy.value(),
+                100.0 * (1.0 - var.total_energy().value() / max.total_energy().value()),
+            );
+        }
+    }
+    println!("(without leakage the Var-vs-Max saving grows: over-cooling carries no");
+    println!(" leakage reward, so the trade-off the paper warns about disappears)");
+    println!();
+}
+
+fn constant_h() {
+    println!("=== ablation 4: Eq. 6-7 constant-h vs calibrated flow-scaled h ===");
+    let pump = Pump::laing_ddc();
+    let stack = ultrasparc::two_layer_liquid();
+    let grid = GridSpec::from_cell_size(
+        stack.tiers()[0].floorplan(),
+        Length::from_millimeters(1.0),
+    );
+    for (label, convection) in [
+        ("calibrated", ConvectionModel::calibrated()),
+        ("paper-constant", ConvectionModel::paper_constant()),
+    ] {
+        let mut cfg = ThermalConfig::default();
+        cfg.liquid.convection = convection;
+        let builder = StackThermalBuilder::new(&stack, grid, cfg);
+        let stack_ref = &stack;
+        let c = characterize(&builder, &pump, 3, Celsius::new(80.0), 5, &|d, m| {
+            m.uniform_block_power(stack_ref, |b| match b.kind() {
+                BlockKind::Core => Watts::new(1.0 + 2.0 * d + 0.3),
+                BlockKind::L2Cache => Watts::new(1.28 * (0.2 + 0.8 * d) + 0.57),
+                BlockKind::Crossbar => Watts::new(1.5 * d + 0.45),
+                _ => Watts::new(0.3),
+            })
+        })
+        .unwrap();
+        let spread: Vec<String> = (0..c.setting_count())
+            .map(|s| format!("{:.2}", c.capability(s)))
+            .collect();
+        println!(
+            "{label:>15}: capability per setting = [{}]",
+            spread.join(", ")
+        );
+    }
+    println!("(constant h removes almost all flow leverage: every setting has nearly");
+    println!(" the same capability, so a controller would have nothing to choose —");
+    println!(" the calibration discussion in DESIGN.md 4.3)");
+}

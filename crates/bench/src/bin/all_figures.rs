@@ -1,0 +1,33 @@
+//! Regenerates every table and figure in one run (the EXPERIMENTS.md
+//! source data).
+//!
+//! Usage: all_figures `<duration_seconds>`
+use vfc::prelude::*;
+use vfc_bench::figures;
+
+fn main() {
+    let duration = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<f64>().ok())
+        .map(Seconds::new)
+        .unwrap_or_else(vfc_bench::default_duration);
+    let sep = "=".repeat(78);
+    for (name, text) in [
+        ("Table I", figures::table1()),
+        ("Table II", figures::table2()),
+        ("Table III", figures::table3()),
+        ("Fig. 1", figures::fig1()),
+        ("Fig. 3", figures::fig3()),
+        ("Fig. 5", figures::fig5()),
+        ("Fig. 6 (2-layer)", figures::fig6(SystemKind::TwoLayer, duration)),
+        (
+            "Fig. 6 savings detail",
+            figures::fig6_savings_detail(SystemKind::TwoLayer, duration),
+        ),
+        ("Fig. 7 (2-layer)", figures::fig7(SystemKind::TwoLayer, duration)),
+        ("Fig. 8 (2-layer)", figures::fig8(SystemKind::TwoLayer, duration)),
+    ] {
+        println!("{sep}\n{name}\n{sep}");
+        println!("{text}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig5 (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", vfc_bench::figures::fig5());
+}

@@ -1,0 +1,24 @@
+//! Regenerates the paper's Fig. 6 (hot spots and energy, 7 policies).
+//!
+//! Usage: fig6 `<duration_seconds>` `[--four-layer]`
+use vfc::prelude::*;
+
+fn main() {
+    let (duration, system) = vfc_bench_args();
+    print!("{}", vfc_bench::figures::fig6(system, duration));
+    println!();
+    print!("{}", vfc_bench::figures::fig6_savings_detail(system, duration));
+}
+
+fn vfc_bench_args() -> (Seconds, SystemKind) {
+    let mut duration = vfc_bench::default_duration();
+    let mut system = SystemKind::TwoLayer;
+    for a in std::env::args().skip(1) {
+        if a == "--four-layer" {
+            system = SystemKind::FourLayer;
+        } else if let Ok(v) = a.parse::<f64>() {
+            duration = Seconds::new(v);
+        }
+    }
+    (duration, system)
+}

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Fig. 7 (thermal variations, with DPM).
+//!
+//! Usage: fig7 `<duration_seconds>` `[--four-layer]`
+use vfc::prelude::*;
+
+fn main() {
+    let mut duration = vfc_bench::default_duration();
+    let mut system = SystemKind::TwoLayer;
+    for a in std::env::args().skip(1) {
+        if a == "--four-layer" {
+            system = SystemKind::FourLayer;
+        } else if let Ok(v) = a.parse::<f64>() {
+            duration = Seconds::new(v);
+        }
+    }
+    print!("{}", vfc_bench::figures::fig7(system, duration));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table3 (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", vfc_bench::figures::table3());
+}

@@ -1,0 +1,98 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each `src/bin/*` binary prints one table or figure; the logic lives in
+//! [`figures`] so `all_figures` can regenerate everything in one run.
+//! Simulations fan out over a small thread pool (results stay in input
+//! order).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use parking_lot::Mutex;
+use vfc::prelude::*;
+
+/// Default simulated duration for the figure-regeneration runs. 30 s at
+/// 100 ms sampling gives 300 samples per run; the paper's relative
+/// numbers are stable well before that.
+pub fn default_duration() -> Seconds {
+    Seconds::new(30.0)
+}
+
+/// Runs a batch of simulations across `std::thread::available_parallelism`
+/// workers, preserving input order.
+///
+/// # Panics
+///
+/// Panics if any simulation fails — the harness treats model errors as
+/// fatal for reproducibility runs.
+pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimReport> {
+    let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
+    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; jobs.len()]);
+    let queue: Mutex<std::collections::VecDeque<(usize, SimConfig)>> =
+        Mutex::new(jobs.into_iter().collect());
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+        .max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().pop_front();
+                let Some((idx, cfg)) = job else { break };
+                let label = cfg.label();
+                let report = Simulation::new(cfg)
+                    .unwrap_or_else(|e| panic!("building {label}: {e}"))
+                    .run()
+                    .unwrap_or_else(|e| panic!("running {label}: {e}"));
+                results.lock()[idx] = Some(report);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Formats a ratio as the paper's normalized-energy numbers.
+pub fn norm(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        value / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc::workload::Benchmark;
+
+    #[test]
+    fn batch_preserves_order_and_runs() {
+        let mk = |bench: &str| {
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidMax,
+                PolicyKind::LoadBalancing,
+                Benchmark::by_name(bench).unwrap(),
+            )
+            .with_duration(Seconds::new(2.0))
+            .with_grid_cell(Length::from_millimeters(2.0))
+        };
+        let out = run_batch(vec![mk("gzip"), mk("MPlayer")]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].workload, "gzip");
+        assert_eq!(out[1].workload, "MPlayer");
+    }
+
+    #[test]
+    fn norm_handles_zero_baseline() {
+        assert_eq!(norm(5.0, 0.0), 0.0);
+        assert_eq!(norm(5.0, 2.0), 2.5);
+    }
+}

@@ -1,0 +1,269 @@
+//! Steady-state characterization of the flow settings (the data behind
+//! Fig. 5 and the runtime LUT).
+
+use vfc_liquid::Pump;
+use vfc_thermal::{StackThermalBuilder, ThermalModel};
+use vfc_units::Celsius;
+
+use crate::ControlError;
+
+/// Result of sweeping heat demand × flow setting over the steady-state
+/// model.
+///
+/// `demand` is an abstract utilization scale in `[0, 1]` mapped to a node
+/// power vector by the caller (the simulator uses its full power model at
+/// the given average utilization, including leakage fixed-point).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Characterization {
+    demands: Vec<f64>,
+    /// `tmax[d][s]`: max junction temperature at demand `d`, setting `s`.
+    tmax: Vec<Vec<f64>>,
+    /// `capability[s]`: largest demand the setting holds at/below target.
+    capability: Vec<f64>,
+    target: f64,
+}
+
+/// Sweeps the steady-state model over a demand grid for every pump
+/// setting.
+///
+/// `power_at` maps `(demand, model)` to a node power vector; it must be
+/// monotone in demand for the capability inversion to be meaningful.
+///
+/// # Errors
+///
+/// [`ControlError::EmptyDemandGrid`] for `demand_points < 2`, or any
+/// thermal build/solve failure.
+pub fn characterize(
+    builder: &StackThermalBuilder<'_>,
+    pump: &Pump,
+    cavities: usize,
+    target: Celsius,
+    demand_points: usize,
+    power_at: &dyn Fn(f64, &ThermalModel) -> Vec<f64>,
+) -> Result<Characterization, ControlError> {
+    if demand_points < 2 {
+        return Err(ControlError::EmptyDemandGrid);
+    }
+    let demands: Vec<f64> = (0..demand_points)
+        .map(|i| i as f64 / (demand_points - 1) as f64)
+        .collect();
+    let mut tmax = vec![vec![0.0; pump.setting_count()]; demand_points];
+
+    for s in pump.flow_settings() {
+        let flow = pump.per_cavity_flow(s, cavities);
+        let model = builder.build(Some(flow))?;
+        let mut warm: Option<Vec<f64>> = None;
+        for (d, &demand) in demands.iter().enumerate() {
+            let p = power_at(demand, &model);
+            let t = model.steady_state(&p, warm.as_deref())?;
+            tmax[d][s.index()] = model.max_junction_temperature(&t).value();
+            warm = Some(t);
+        }
+    }
+
+    let capability = (0..pump.setting_count())
+        .map(|s| invert_capability(&demands, &tmax, s, target.value()))
+        .collect();
+
+    Ok(Characterization {
+        demands,
+        tmax,
+        capability,
+        target: target.value(),
+    })
+}
+
+/// Largest demand for which `tmax(demand, s) <= target` (linear
+/// interpolation between grid points; 0 if even idle exceeds the target,
+/// 1 if the full range fits).
+fn invert_capability(demands: &[f64], tmax: &[Vec<f64>], s: usize, target: f64) -> f64 {
+    let t_of = |d: usize| tmax[d][s];
+    if t_of(0) > target {
+        return 0.0;
+    }
+    for d in 1..demands.len() {
+        if t_of(d) > target {
+            let (d0, d1) = (demands[d - 1], demands[d]);
+            let (t0, t1) = (t_of(d - 1), t_of(d));
+            // t is increasing across this segment; find the crossing.
+            return d0 + (target - t0) / (t1 - t0) * (d1 - d0);
+        }
+    }
+    1.0
+}
+
+impl Characterization {
+    /// The demand grid.
+    pub fn demands(&self) -> &[f64] {
+        &self.demands
+    }
+
+    /// Number of flow settings characterized.
+    pub fn setting_count(&self) -> usize {
+        self.tmax[0].len()
+    }
+
+    /// The control target temperature.
+    pub fn target(&self) -> Celsius {
+        Celsius::new(self.target)
+    }
+
+    /// Maximum temperature at a `(demand grid index, setting)` pair.
+    pub fn tmax_at(&self, demand_index: usize, setting: usize) -> Celsius {
+        Celsius::new(self.tmax[demand_index][setting])
+    }
+
+    /// Largest demand a setting holds at/below the target.
+    pub fn capability(&self, setting: usize) -> f64 {
+        self.capability[setting]
+    }
+
+    /// Interpolated maximum temperature at an arbitrary demand.
+    pub fn tmax_interp(&self, demand: f64, setting: usize) -> Celsius {
+        let d = demand.clamp(0.0, 1.0);
+        let n = self.demands.len();
+        let mut i = 1;
+        while i < n - 1 && self.demands[i] < d {
+            i += 1;
+        }
+        let (d0, d1) = (self.demands[i - 1], self.demands[i]);
+        let (t0, t1) = (self.tmax[i - 1][setting], self.tmax[i][setting]);
+        let frac = if d1 > d0 { (d - d0) / (d1 - d0) } else { 0.0 };
+        Celsius::new(t0 + frac * (t1 - t0))
+    }
+
+    /// The minimum setting able to hold a given demand at/below target
+    /// (the highest setting if none can).
+    pub fn required_setting_for_demand(&self, demand: f64) -> usize {
+        for s in 0..self.setting_count() {
+            if demand <= self.capability[s] + 1e-12 {
+                return s;
+            }
+        }
+        self.setting_count() - 1
+    }
+
+    /// The Fig. 5 series: for each demand grid point, the temperature the
+    /// system would show at the *lowest* setting (the x-axis proxy for
+    /// heat demand) and the minimum flow setting required to stay at/below
+    /// the target.
+    pub fn fig5_series(&self) -> Vec<(Celsius, usize)> {
+        self.demands
+            .iter()
+            .enumerate()
+            .map(|(d, &demand)| {
+                (
+                    Celsius::new(self.tmax[d][0]),
+                    self.required_setting_for_demand(demand),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_floorplan::{ultrasparc, GridSpec};
+    use vfc_thermal::ThermalConfig;
+    use vfc_units::{Length, Watts};
+
+    fn quick_characterization() -> Characterization {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid = GridSpec::from_cell_size(
+            stack.tiers()[0].floorplan(),
+            Length::from_millimeters(1.5),
+        );
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let pump = Pump::laing_ddc();
+        let stack2 = ultrasparc::two_layer_liquid();
+        characterize(
+            &builder,
+            &pump,
+            3,
+            Celsius::new(80.0),
+            5,
+            &move |demand, model| {
+                model.uniform_block_power(&stack2, |b| match b.kind() {
+                    vfc_floorplan::BlockKind::Core => {
+                        Watts::new(demand * 3.0 + (1.0 - demand) * 1.0 + 0.5)
+                    }
+                    vfc_floorplan::BlockKind::L2Cache => Watts::new(1.28 + 0.9),
+                    vfc_floorplan::BlockKind::Crossbar => Watts::new(3.0 * demand + 0.75),
+                    _ => Watts::new(0.3 + 0.5),
+                })
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tmax_monotone_in_demand_and_antitone_in_flow() {
+        let c = quick_characterization();
+        for s in 0..c.setting_count() {
+            for d in 1..c.demands().len() {
+                assert!(c.tmax_at(d, s) >= c.tmax_at(d - 1, s), "demand monotone");
+            }
+        }
+        for d in 0..c.demands().len() {
+            for s in 1..c.setting_count() {
+                assert!(c.tmax_at(d, s) <= c.tmax_at(d, s - 1), "flow antitone");
+            }
+        }
+    }
+
+    #[test]
+    fn capability_increases_with_setting() {
+        let c = quick_characterization();
+        for s in 1..c.setting_count() {
+            assert!(
+                c.capability(s) >= c.capability(s - 1),
+                "higher flow handles at least as much demand"
+            );
+        }
+        // The top setting must add real headroom over the bottom one.
+        let top = c.capability(c.setting_count() - 1);
+        assert!(top > c.capability(0) + 0.15, "top adds headroom: {top}");
+        assert!(top > 0.6, "top setting covers most of the demand range");
+    }
+
+    #[test]
+    fn required_setting_is_monotone_staircase() {
+        let c = quick_characterization();
+        let mut last = 0;
+        for d in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let s = c.required_setting_for_demand(d);
+            assert!(s >= last, "staircase must not descend");
+            last = s;
+        }
+        assert_eq!(c.required_setting_for_demand(0.0), 0);
+    }
+
+    #[test]
+    fn fig5_series_spans_settings() {
+        let c = quick_characterization();
+        let series = c.fig5_series();
+        assert_eq!(series.len(), c.demands().len());
+        // Temperatures on the x-axis increase with demand.
+        for w in series.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        // The staircase reaches beyond the minimum setting.
+        assert!(series.iter().any(|&(_, s)| s > 0));
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid = GridSpec::from_cell_size(
+            stack.tiers()[0].floorplan(),
+            Length::from_millimeters(2.0),
+        );
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let pump = Pump::laing_ddc();
+        let err = characterize(&builder, &pump, 3, Celsius::new(80.0), 1, &|_, m| {
+            m.zero_power()
+        });
+        assert!(matches!(err, Err(ControlError::EmptyDemandGrid)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Floorplan validation errors.
+
+/// Errors raised while constructing or validating floorplans and stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// A block extends beyond the die outline.
+    BlockOutOfBounds {
+        /// Offending block name.
+        block: String,
+    },
+    /// Two blocks overlap.
+    BlocksOverlap {
+        /// First block name.
+        first: String,
+        /// Second block name.
+        second: String,
+        /// Overlap area in mm².
+        area_mm2: f64,
+    },
+    /// Two blocks share a name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The blocks do not tile the die (gaps or excess).
+    CoverageMismatch {
+        /// Total block area in mm².
+        covered_mm2: f64,
+        /// Die area in mm².
+        die_mm2: f64,
+    },
+    /// A stack was described with an inconsistent tier/interface count.
+    MalformedStack {
+        /// Human-readable description.
+        context: String,
+    },
+    /// Tier floorplans in one stack have different die outlines.
+    MismatchedDies {
+        /// Index of the offending tier.
+        tier: usize,
+    },
+}
+
+impl core::fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FloorplanError::BlockOutOfBounds { block } => {
+                write!(f, "block `{block}` extends beyond the die outline")
+            }
+            FloorplanError::BlocksOverlap {
+                first,
+                second,
+                area_mm2,
+            } => write!(
+                f,
+                "blocks `{first}` and `{second}` overlap by {area_mm2:.4} mm²"
+            ),
+            FloorplanError::DuplicateName { name } => {
+                write!(f, "duplicate block name `{name}`")
+            }
+            FloorplanError::CoverageMismatch {
+                covered_mm2,
+                die_mm2,
+            } => write!(
+                f,
+                "blocks cover {covered_mm2:.3} mm² of a {die_mm2:.3} mm² die"
+            ),
+            FloorplanError::MalformedStack { context } => {
+                write!(f, "malformed stack: {context}")
+            }
+            FloorplanError::MismatchedDies { tier } => {
+                write!(f, "tier {tier} has a different die outline than tier 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FloorplanError::BlocksOverlap {
+            first: "a".into(),
+            second: "b".into(),
+            area_mm2: 0.5,
+        };
+        assert!(e.to_string().contains("overlap"));
+        let e = FloorplanError::CoverageMismatch {
+            covered_mm2: 100.0,
+            die_mm2: 115.0,
+        };
+        assert!(e.to_string().contains("115.000"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Floorplans, grid mapping and 3D stack descriptions for the vfc
+//! liquid-cooling simulator.
+//!
+//! The paper evaluates 2- and 4-layer 3D stacks built from the 90 nm
+//! UltraSPARC T1: cores on dedicated layers, L2 caches and the crossbar
+//! (which hosts the through-silicon vias) on others, with microchannel
+//! cavities between all tiers and on the outer faces (Fig. 1, Table III).
+//! This crate provides:
+//!
+//! * [`Rect`]/[`Block`]/[`Floorplan`] — 2-D layouts with validation
+//!   (in-bounds, non-overlapping, full coverage);
+//! * [`GridSpec`] — the uniform thermal grid and block↔cell mapping;
+//! * [`Stack3d`] — the vertical structure: tiers (silicon + BEOL) and the
+//!   interfaces between them (bond material, microchannel cavity, heat-sink
+//!   attach);
+//! * [`ultrasparc`] — ready-made T1-based floorplans and stacks matching
+//!   Table III exactly (core 10 mm², L2 19 mm², layer 115 mm²).
+//!
+//! # Example
+//!
+//! ```
+//! use vfc_floorplan::{ultrasparc, GridSpec};
+//!
+//! let stack = ultrasparc::two_layer_liquid();
+//! assert_eq!(stack.tiers().len(), 2);
+//! assert_eq!(stack.cavity_count(), 3); // cooling on top/bottom too
+//!
+//! let grid = GridSpec::from_cell_size(
+//!     stack.tiers()[0].floorplan(),
+//!     vfc_units::Length::from_millimeters(0.5),
+//! );
+//! assert_eq!((grid.rows(), grid.cols()), (20, 23));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod block;
+mod error;
+mod floorplan;
+mod grid;
+mod rect;
+mod stack;
+pub mod ultrasparc;
+
+pub use block::{Block, BlockKind};
+pub use error::FloorplanError;
+pub use floorplan::Floorplan;
+pub use grid::{CellIndex, GridSpec};
+pub use rect::Rect;
+pub use stack::{Interface, Stack3d, StackBuilder, TierSpec, TsvField};

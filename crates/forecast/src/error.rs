@@ -1,0 +1,65 @@
+//! Forecasting errors.
+
+use vfc_num::NumError;
+
+/// Errors raised while fitting or using forecast models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastError {
+    /// Not enough history to fit the requested model order.
+    InsufficientHistory {
+        /// Samples available.
+        available: usize,
+        /// Samples required.
+        required: usize,
+    },
+    /// Invalid model order (e.g. `p == 0 && q > 0` handled, but `p == 0`
+    /// and `q == 0` together are not a model).
+    InvalidOrder,
+    /// The least-squares stage failed (degenerate history).
+    Numerical(NumError),
+}
+
+impl core::fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ForecastError::InsufficientHistory {
+                available,
+                required,
+            } => write!(
+                f,
+                "insufficient history: {available} samples, need {required}"
+            ),
+            ForecastError::InvalidOrder => write!(f, "ARMA order (0,0) is not a model"),
+            ForecastError::Numerical(e) => write!(f, "fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ForecastError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ForecastError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for ForecastError {
+    fn from(e: NumError) -> Self {
+        ForecastError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ForecastError::InsufficientHistory {
+            available: 3,
+            required: 20,
+        };
+        assert!(e.to_string().contains("3 samples"));
+    }
+}

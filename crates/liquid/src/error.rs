@@ -1,0 +1,56 @@
+//! Errors for the liquid-cooling models.
+
+/// Errors raised by pump and channel construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiquidError {
+    /// A pump was configured with no flow settings.
+    NoFlowSettings,
+    /// Flow settings were not strictly increasing.
+    UnsortedFlowSettings {
+        /// Index of the first out-of-order setting.
+        index: usize,
+    },
+    /// A requested flow setting index is out of range.
+    SettingOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Number of available settings.
+        count: usize,
+    },
+    /// Channel geometry with a non-positive dimension.
+    InvalidGeometry {
+        /// Which dimension was invalid.
+        field: &'static str,
+    },
+}
+
+impl core::fmt::Display for LiquidError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LiquidError::NoFlowSettings => write!(f, "pump needs at least one flow setting"),
+            LiquidError::UnsortedFlowSettings { index } => {
+                write!(f, "flow settings must increase strictly (violated at {index})")
+            }
+            LiquidError::SettingOutOfRange { index, count } => {
+                write!(f, "flow setting {index} out of range (pump has {count})")
+            }
+            LiquidError::InvalidGeometry { field } => {
+                write!(f, "channel geometry field `{field}` must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiquidError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(LiquidError::NoFlowSettings.to_string().contains("pump"));
+        let e = LiquidError::SettingOutOfRange { index: 7, count: 5 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,36 @@
+//! Coolant, microchannel and pump models for interlayer liquid cooling.
+//!
+//! Implements Sec. III-B/III-C of the paper: the working fluid
+//! ([`Coolant::water`], Table I), the microchannel array between tiers
+//! ([`ChannelGeometry`], 65 channels per cavity, 50 µm × 100 µm channels),
+//! the convective heat-transfer model ([`ConvectionModel`], Eq. 6–7 plus the
+//! calibrated flow-dependent variant described in DESIGN.md §4.3), and the
+//! five-setting Laing-DDC-class pump ([`Pump`], Fig. 3) with its 50 %
+//! delivery loss, quadratic power curve and 250–300 ms transition time.
+//!
+//! # Example
+//!
+//! ```
+//! use vfc_liquid::{Pump, FlowSetting};
+//!
+//! let pump = Pump::laing_ddc();
+//! let max = pump.max_setting();
+//! // Fig. 3: at the top setting the 2-layer system (3 cavities) receives
+//! // ~1042 ml/min per cavity after the 50% delivery loss.
+//! let per_cavity = pump.per_cavity_flow(max, 3);
+//! assert!((per_cavity.to_ml_per_minute() - 1041.7).abs() < 0.1);
+//! assert!(pump.power(max).value() > pump.power(FlowSetting::MIN).value());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod channel;
+mod coolant;
+mod error;
+mod pump;
+
+pub use channel::{ChannelGeometry, ConvectionModel};
+pub use coolant::Coolant;
+pub use error::LiquidError;
+pub use pump::{FlowSetting, Pump, PumpBuilder};

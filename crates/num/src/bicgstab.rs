@@ -1,0 +1,238 @@
+//! Jacobi-preconditioned BiCGSTAB for nonsymmetric systems.
+
+use crate::{dot, norm2, CsrMatrix, NumError, SolveInfo};
+
+/// Stabilized bi-conjugate gradient solver.
+///
+/// The liquid-cooled thermal networks are nonsymmetric because coolant
+/// advection transports heat downstream only; BiCGSTAB handles these
+/// diagonally dominant systems robustly where plain CG does not apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiCgStab {
+    /// Relative residual tolerance `‖b−Ax‖/‖b‖`.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for BiCgStab {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+impl BiCgStab {
+    /// Solves `A·x = b`, using the incoming `x` as the warm start.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::DimensionMismatch`] for wrong lengths,
+    /// [`NumError::NoConvergence`] past the iteration cap, and
+    /// [`NumError::Breakdown`] if an inner product vanishes (the caller may
+    /// retry from a different initial guess).
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> Result<SolveInfo, NumError> {
+        let n = a.order();
+        if b.len() != n || x.len() != n {
+            return Err(NumError::DimensionMismatch {
+                context: "bicgstab: rhs/solution length must equal matrix order",
+            });
+        }
+        let b_norm = norm2(b);
+        if b_norm == 0.0 {
+            x.fill(0.0);
+            return Ok(SolveInfo {
+                iterations: 0,
+                residual: 0.0,
+            });
+        }
+        let inv_diag: Vec<f64> = a
+            .diagonal()
+            .iter()
+            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
+            .collect();
+
+        let mut r = vec![0.0; n];
+        a.matvec_into(x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let r0 = r.clone();
+        let mut rho = 1.0f64;
+        let mut alpha = 1.0f64;
+        let mut omega = 1.0f64;
+        let mut v = vec![0.0; n];
+        let mut p = vec![0.0; n];
+        let mut phat = vec![0.0; n];
+        let mut shat = vec![0.0; n];
+        let mut t = vec![0.0; n];
+
+        for it in 0..self.max_iterations {
+            let res = norm2(&r) / b_norm;
+            if res <= self.tolerance {
+                return Ok(SolveInfo {
+                    iterations: it,
+                    residual: res,
+                });
+            }
+            let rho_new = dot(&r0, &r);
+            if rho_new.abs() < 1e-300 {
+                return Err(NumError::Breakdown { iterations: it });
+            }
+            let beta = (rho_new / rho) * (alpha / omega);
+            rho = rho_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            }
+            for i in 0..n {
+                phat[i] = p[i] * inv_diag[i];
+            }
+            a.matvec_into(&phat, &mut v);
+            let r0v = dot(&r0, &v);
+            if r0v.abs() < 1e-300 {
+                return Err(NumError::Breakdown { iterations: it });
+            }
+            alpha = rho / r0v;
+            // s = r - alpha*v (reuse r as s)
+            for i in 0..n {
+                r[i] -= alpha * v[i];
+            }
+            if norm2(&r) / b_norm <= self.tolerance {
+                for i in 0..n {
+                    x[i] += alpha * phat[i];
+                }
+                return Ok(SolveInfo {
+                    iterations: it + 1,
+                    residual: norm2(&r) / b_norm,
+                });
+            }
+            for i in 0..n {
+                shat[i] = r[i] * inv_diag[i];
+            }
+            a.matvec_into(&shat, &mut t);
+            let tt = dot(&t, &t);
+            if tt.abs() < 1e-300 {
+                return Err(NumError::Breakdown { iterations: it });
+            }
+            omega = dot(&t, &r) / tt;
+            for i in 0..n {
+                x[i] += alpha * phat[i] + omega * shat[i];
+                r[i] -= omega * t[i];
+            }
+            if omega.abs() < 1e-300 {
+                return Err(NumError::Breakdown { iterations: it });
+            }
+        }
+        Err(NumError::NoConvergence {
+            iterations: self.max_iterations,
+            residual: norm2(&r) / b_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CsrBuilder, DenseMatrix};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// 1-D advection-diffusion matrix: diffusion couples both neighbours,
+    /// advection couples upstream only — exactly the structure of a
+    /// microchannel row in the thermal network.
+    fn advection_diffusion(n: usize, adv: f64) -> CsrMatrix {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            let mut diag = 0.1; // sink term
+            if i > 0 {
+                b.add(i, i - 1, -1.0 - adv);
+                diag += 1.0 + adv;
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                diag += 1.0;
+            }
+            b.add(i, i, diag);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn solves_nonsymmetric_advection_system() {
+        let a = advection_diffusion(200, 5.0);
+        let x_true: Vec<f64> = (0..200).map(|i| 60.0 + (i as f64 * 0.05).cos()).collect();
+        let b = a.matvec(&x_true);
+        let mut x = vec![0.0; 200];
+        let info = BiCgStab::default().solve(&a, &b, &mut x).unwrap();
+        assert!(info.residual <= 1e-10);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matches_dense_lu_on_small_systems() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.random_range(2..30);
+            let mut b = CsrBuilder::new(n);
+            let mut dense = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j || rng.random::<f64>() < 0.3 {
+                        let v = if i == j {
+                            rng.random_range(5.0..10.0)
+                        } else {
+                            rng.random_range(-1.0..1.0)
+                        };
+                        b.add(i, j, v);
+                        dense[(i, j)] = v;
+                    }
+                }
+            }
+            let a = b.build();
+            let rhs: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let mut x = vec![0.0; n];
+            BiCgStab::default().solve(&a, &rhs, &mut x).unwrap();
+            let x_lu = dense.lu_solve(&rhs).unwrap();
+            for (got, want) in x.iter().zip(&x_lu) {
+                assert!((got - want).abs() < 1e-7, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = advection_diffusion(10, 1.0);
+        let mut x = vec![3.0; 10];
+        let info = BiCgStab::default().solve(&a, &[0.0; 10], &mut x).unwrap();
+        assert_eq!(info.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = advection_diffusion(4, 1.0);
+        let mut x = vec![0.0; 4];
+        assert!(matches!(
+            BiCgStab::default().solve(&a, &[1.0; 3], &mut x),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn residual_below_tolerance(seed in 0u64..200, n in 2usize..40, adv in 0.0f64..10.0) {
+            let a = advection_diffusion(n, adv);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rhs: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let mut x = vec![0.0; n];
+            let info = BiCgStab::default().solve(&a, &rhs, &mut x).unwrap();
+            prop_assert!(info.residual <= 1e-10);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Jacobi-preconditioned conjugate gradient for SPD systems.
+
+use crate::{dot, norm2, CsrMatrix, NumError, SolveInfo};
+
+/// Conjugate-gradient solver for symmetric positive-definite systems,
+/// with diagonal (Jacobi) preconditioning.
+///
+/// Used for the purely conductive (air-cooled) thermal networks, whose
+/// conductance matrices are SPD M-matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConjugateGradient {
+    /// Relative residual tolerance `‖b−Ax‖/‖b‖`.
+    pub tolerance: f64,
+    /// Iteration cap; the solver fails with
+    /// [`NumError::NoConvergence`] past this.
+    pub max_iterations: usize,
+}
+
+impl Default for ConjugateGradient {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+impl ConjugateGradient {
+    /// Solves `A·x = b`, using the incoming `x` as the warm start.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::DimensionMismatch`] for wrong lengths,
+    /// [`NumError::NoConvergence`] if the tolerance is not reached.
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> Result<SolveInfo, NumError> {
+        let n = a.order();
+        if b.len() != n || x.len() != n {
+            return Err(NumError::DimensionMismatch {
+                context: "cg: rhs/solution length must equal matrix order",
+            });
+        }
+        let b_norm = norm2(b);
+        if b_norm == 0.0 {
+            x.fill(0.0);
+            return Ok(SolveInfo {
+                iterations: 0,
+                residual: 0.0,
+            });
+        }
+
+        let inv_diag: Vec<f64> = a
+            .diagonal()
+            .iter()
+            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
+            .collect();
+
+        let mut r = vec![0.0; n];
+        a.matvec_into(x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+
+        for it in 0..self.max_iterations {
+            let res = norm2(&r) / b_norm;
+            if res <= self.tolerance {
+                return Ok(SolveInfo {
+                    iterations: it,
+                    residual: res,
+                });
+            }
+            a.matvec_into(&p, &mut ap);
+            let pap = dot(&p, &ap);
+            if pap.abs() < 1e-300 {
+                return Err(NumError::Breakdown { iterations: it });
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            for i in 0..n {
+                z[i] = r[i] * inv_diag[i];
+            }
+            let rz_new = dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        Err(NumError::NoConvergence {
+            iterations: self.max_iterations,
+            residual: norm2(&r) / b_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    /// 1-D Laplacian with Dirichlet-like diagonal boosting: SPD.
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 2.0 + 0.01);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn solves_laplacian() {
+        let a = laplacian(100);
+        let x_true: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b = a.matvec(&x_true);
+        let mut x = vec![0.0; 100];
+        let info = ConjugateGradient::default().solve(&a, &b, &mut x).unwrap();
+        assert!(info.residual <= 1e-10);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let a = laplacian(50);
+        let x_true: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b = a.matvec(&x_true);
+        let mut x = x_true.clone();
+        let info = ConjugateGradient::default().solve(&a, &b, &mut x).unwrap();
+        assert_eq!(info.iterations, 0);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = laplacian(10);
+        let mut x = vec![1.0; 10];
+        let info = ConjugateGradient::default()
+            .solve(&a, &[0.0; 10], &mut x)
+            .unwrap();
+        assert_eq!(info.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn iteration_cap_is_enforced() {
+        let a = laplacian(200);
+        let b = vec![1.0; 200];
+        let mut x = vec![0.0; 200];
+        let cg = ConjugateGradient {
+            tolerance: 1e-14,
+            max_iterations: 2,
+        };
+        assert!(matches!(
+            cg.solve(&a, &b, &mut x),
+            Err(NumError::NoConvergence { iterations: 2, .. })
+        ));
+    }
+}

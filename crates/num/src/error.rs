@@ -1,0 +1,70 @@
+//! Error type shared by the numerical kernels.
+
+/// Errors produced by factorizations and iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A matrix was singular (or numerically singular) during factorization.
+    SingularMatrix {
+        /// Pivot column at which elimination broke down.
+        pivot: usize,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Relative residual at the last iteration.
+        residual: f64,
+    },
+    /// Inputs had inconsistent dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// The iterative method broke down (division by a vanishing inner
+    /// product), typically caused by a badly conditioned system.
+    Breakdown {
+        /// Iteration at which the breakdown occurred.
+        iterations: usize,
+    },
+}
+
+impl core::fmt::Display for NumError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NumError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            NumError::Breakdown { iterations } => {
+                write!(f, "iterative method broke down at iteration {iterations}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NumError::NoConvergence {
+            iterations: 10,
+            residual: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.starts_with("solver"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Numerical kernels for the vfc thermal simulator and forecaster.
+//!
+//! The thermal model assembles large sparse resistive-capacitive networks
+//! whose conductance matrices are nonsymmetric (coolant advection is a
+//! directed coupling), so the crate provides:
+//!
+//! * [`DenseMatrix`] with [LU factorization](DenseMatrix::lu_solve) — used
+//!   for small systems (ARMA normal equations, TALB weight solves) and as a
+//!   reference oracle for the sparse iterative solvers in tests;
+//! * [`CsrMatrix`] (compressed sparse row) assembled from triplets;
+//! * [`ConjugateGradient`] for symmetric positive-definite systems;
+//! * [`BiCgStab`] for the nonsymmetric systems produced by advection;
+//! * [`lstsq`](lstsq::solve) ordinary least squares, used by the
+//!   Hannan–Rissanen ARMA fit;
+//! * light statistics helpers in [`stats`].
+//!
+//! # Example
+//!
+//! ```
+//! use vfc_num::{CsrBuilder, BiCgStab};
+//!
+//! // 2x2 diagonally dominant system: [[4,1],[1,3]] x = [1,2]
+//! let mut b = CsrBuilder::new(2);
+//! b.add(0, 0, 4.0);
+//! b.add(0, 1, 1.0);
+//! b.add(1, 0, 1.0);
+//! b.add(1, 1, 3.0);
+//! let m = b.build();
+//! let mut x = vec![0.0; 2];
+//! let info = BiCgStab::default().solve(&m, &[1.0, 2.0], &mut x).unwrap();
+//! assert!(info.residual < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bicgstab;
+mod cg;
+mod dense;
+mod error;
+pub mod lstsq;
+mod sparse;
+pub mod stats;
+
+pub use bicgstab::BiCgStab;
+pub use cg::ConjugateGradient;
+pub use dense::DenseMatrix;
+pub use error::NumError;
+pub use sparse::{CsrBuilder, CsrMatrix};
+
+/// Convergence report returned by the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveInfo {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Ax‖ / ‖b‖`.
+    pub residual: f64,
+}
+
+/// Euclidean norm of a vector.
+#[inline]
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_and_dots() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Compressed sparse row matrices assembled from triplets.
+
+/// Incremental triplet assembler for a square [`CsrMatrix`].
+///
+/// Duplicate `(row, col)` entries are summed at [`build`](CsrBuilder::build)
+/// time, which matches how RC-network stamps accumulate conductances.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    n: usize,
+    triplets: Vec<(u32, u32, f64)>,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for an `n × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n` exceeds `u32::MAX`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix order must be positive");
+        assert!(n <= u32::MAX as usize, "matrix order exceeds u32 range");
+        Self {
+            n,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `value` at `(row, col)`; repeated stamps accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "triplet index out of range");
+        if value != 0.0 {
+            self.triplets.push((row as u32, col as u32, value));
+        }
+    }
+
+    /// Finalizes the builder into a [`CsrMatrix`], summing duplicates.
+    pub fn build(mut self) -> CsrMatrix {
+        self.triplets
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
+
+        row_ptr.push(0u32);
+        let mut current_row = 0u32;
+        let mut last_entry: Option<(u32, u32)> = None;
+        for &(r, c, v) in &self.triplets {
+            while current_row < r {
+                row_ptr.push(col_idx.len() as u32);
+                current_row += 1;
+            }
+            if last_entry == Some((r, c)) {
+                // Triplets are sorted, so duplicates are adjacent.
+                *values.last_mut().expect("duplicate implies prior entry") += v;
+                continue;
+            }
+            col_idx.push(c);
+            values.push(v);
+            last_entry = Some((r, c));
+        }
+        while (row_ptr.len() as usize) < self.n + 1 {
+            row_ptr.push(col_idx.len() as u32);
+        }
+
+        CsrMatrix {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A square sparse matrix in compressed-sparse-row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` have the wrong length.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.n, "matvec: y length mismatch");
+        for i in 0..self.n {
+            let start = self.row_ptr[i] as usize;
+            let end = self.row_ptr[i + 1] as usize;
+            let mut acc = 0.0;
+            for k in start..end {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Allocating variant of [`matvec_into`](Self::matvec_into).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// The diagonal of the matrix (zeros where no entry is stored);
+    /// used by Jacobi preconditioning.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n];
+        for i in 0..self.n {
+            let start = self.row_ptr[i] as usize;
+            let end = self.row_ptr[i + 1] as usize;
+            for k in start..end {
+                if self.col_idx[k] as usize == i {
+                    d[i] += self.values[k];
+                }
+            }
+        }
+        d
+    }
+
+    /// Returns the entry at `(row, col)` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of range");
+        let start = self.row_ptr[row] as usize;
+        let end = self.row_ptr[row + 1] as usize;
+        for k in start..end {
+            if self.col_idx[k] as usize == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Iterates over the stored entries of one row as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.n, "row out of range");
+        let start = self.row_ptr[row] as usize;
+        let end = self.row_ptr[row + 1] as usize;
+        self.col_idx[start..end]
+            .iter()
+            .zip(&self.values[start..end])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Converts to a dense matrix (test/diagnostic use).
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut m = crate::DenseMatrix::zeros(self.n, self.n);
+        for r in 0..self.n {
+            for (c, v) in self.row(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn small() -> CsrMatrix {
+        let mut b = CsrBuilder::new(3);
+        b.add(0, 0, 2.0);
+        b.add(0, 2, 1.0);
+        b.add(1, 1, 3.0);
+        b.add(2, 0, 4.0);
+        b.add(2, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = small();
+        assert_eq!(m.matvec(&[1.0, 2.0, 3.0]), vec![5.0, 6.0, 19.0]);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 0, 1.0);
+        b.add(0, 0, 2.5);
+        b.add(1, 0, -1.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut b = CsrBuilder::new(4);
+        b.add(3, 3, 1.0);
+        let m = b.build();
+        assert_eq!(m.matvec(&[1.0; 4]), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let m = small();
+        assert_eq!(m.diagonal(), vec![2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn same_column_across_rows_does_not_merge() {
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 1, 2.0);
+        b.add(1, 1, 3.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn zero_entries_are_dropped() {
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 1, 0.0);
+        b.add(1, 1, 1.0);
+        assert_eq!(b.build().nnz(), 1);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let m = small();
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 2.0), (2, 1.0)]);
+        let row1: Vec<_> = m.row(1).collect();
+        assert_eq!(row1, vec![(1, 3.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn csr_matvec_matches_dense(seed in 0u64..500, n in 1usize..20) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = CsrBuilder::new(n);
+            let nnz = rng.random_range(0..n * 3 + 1);
+            for _ in 0..nnz {
+                b.add(
+                    rng.random_range(0..n),
+                    rng.random_range(0..n),
+                    rng.random_range(-2.0..2.0),
+                );
+            }
+            let m = b.build();
+            let d = m.to_dense();
+            let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let ys = m.matvec(&x);
+            let yd = d.matvec(&x);
+            for (a, b) in ys.iter().zip(&yd) {
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+}

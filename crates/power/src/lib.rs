@@ -1,0 +1,40 @@
+//! Power models for the UltraSPARC-T1-based 3D systems (paper Sec. V).
+//!
+//! The paper's power assumptions: SPARC cores draw their average power in
+//! each state (active 3 W, sleep 0.02 W; peak ≈ average on the T1), L2
+//! caches draw 1.28 W each (CACTI-verified), the crossbar scales with the
+//! number of active cores and the memory access intensity, leakage follows
+//! the temperature-dependent polynomial of Su et al. (Ref. 21), and dynamic
+//! power management (DPM) puts cores to sleep after a fixed 200 ms idle
+//! timeout.
+//!
+//! # Example
+//!
+//! ```
+//! use vfc_power::{PowerModel, LeakageModel};
+//! use vfc_units::Celsius;
+//!
+//! let pm = PowerModel::ultrasparc_t1();
+//! // A core at 60% utilization over an interval:
+//! let p = pm.core_power(0.6, false);
+//! assert!((p.value() - (0.6 * 3.0 + 0.4 * 1.0)).abs() < 1e-12);
+//!
+//! let leak = LeakageModel::su_polynomial();
+//! // Leakage doubles every ~25 °C.
+//! let low = leak.scale_factor(Celsius::new(60.0));
+//! let high = leak.scale_factor(Celsius::new(85.0));
+//! assert!((high / low - 2.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dpm;
+mod leakage;
+mod model;
+mod states;
+
+pub use dpm::FixedTimeoutDpm;
+pub use leakage::LeakageModel;
+pub use model::PowerModel;
+pub use states::PowerState;

@@ -1,0 +1,297 @@
+//! Simulation configuration.
+
+use vfc_floorplan::{ultrasparc, Stack3d};
+use vfc_liquid::{FlowSetting, Pump};
+use vfc_power::{LeakageModel, PowerModel};
+use vfc_thermal::ThermalConfig;
+use vfc_units::{Celsius, Length, Seconds, TemperatureDelta};
+use vfc_workload::{Benchmark, PhasedWorkload};
+
+/// Which 3D system to simulate (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SystemKind {
+    /// 8 cores: core tier + cache tier.
+    TwoLayer,
+    /// 16 cores: core/cache/core/cache.
+    FourLayer,
+}
+
+impl SystemKind {
+    /// The stack description for this system under the given cooling.
+    pub fn stack(self, liquid: bool) -> Stack3d {
+        match (self, liquid) {
+            (SystemKind::TwoLayer, true) => ultrasparc::two_layer_liquid(),
+            (SystemKind::TwoLayer, false) => ultrasparc::two_layer_air(),
+            (SystemKind::FourLayer, true) => ultrasparc::four_layer_liquid(),
+            (SystemKind::FourLayer, false) => ultrasparc::four_layer_air(),
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::TwoLayer => "2-layer",
+            SystemKind::FourLayer => "4-layer",
+        }
+    }
+}
+
+/// The cooling configuration (paper legends: `(Air)`, `(Max)`, `(Var)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CoolingKind {
+    /// Conventional air-cooled package.
+    Air,
+    /// Liquid cooling pinned at one flow setting.
+    LiquidFixed(FlowSetting),
+    /// Liquid cooling pinned at the pump's maximum (worst-case) setting.
+    LiquidMax,
+    /// The paper's contribution: controller-driven variable flow.
+    LiquidVariable,
+}
+
+impl CoolingKind {
+    /// Whether a liquid stack is needed.
+    pub fn is_liquid(self) -> bool {
+        !matches!(self, CoolingKind::Air)
+    }
+
+    /// Short label used in reports (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            CoolingKind::Air => "Air",
+            CoolingKind::LiquidFixed(_) => "Fixed",
+            CoolingKind::LiquidMax => "Max",
+            CoolingKind::LiquidVariable => "Var",
+        }
+    }
+}
+
+/// The scheduling policy (paper Sec. IV/V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// Dynamic load balancing.
+    LoadBalancing,
+    /// LB + reactive migration above 85 °C.
+    ReactiveMigration,
+    /// Temperature-aware weighted load balancing (the paper's).
+    Talb,
+}
+
+impl PolicyKind {
+    /// Short label used in reports (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::LoadBalancing => "LB",
+            PolicyKind::ReactiveMigration => "Mig.",
+            PolicyKind::Talb => "TALB",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// System under test.
+    pub system: SystemKind,
+    /// Cooling configuration.
+    pub cooling: CoolingKind,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Workload (possibly phased).
+    pub workload: PhasedWorkload,
+    /// Simulated duration (default 60 s).
+    pub duration: Seconds,
+    /// RNG seed for the workload generator.
+    pub seed: u64,
+    /// Thermal grid cell size (default 1 mm; the paper's 100 µm grid is
+    /// available for validation runs at much higher cost).
+    pub grid_cell: Length,
+    /// Enable DPM (Fig. 7 runs with it, Fig. 6 without).
+    pub dpm: bool,
+    /// Temperature sampling / control interval (paper: 100 ms).
+    pub sampling_interval: Seconds,
+    /// Scheduler tick (1 ms).
+    pub scheduler_tick: Seconds,
+    /// Backward-Euler sub-steps per sampling interval.
+    pub thermal_substeps: usize,
+    /// Hot-spot threshold (paper: 85 °C).
+    pub hot_spot_threshold: Celsius,
+    /// Controller target (paper: 80 °C).
+    pub target_temperature: Celsius,
+    /// Spatial-gradient threshold (Fig. 7: 15 °C).
+    pub gradient_threshold: TemperatureDelta,
+    /// Thermal-cycle threshold (Fig. 7: 20 °C).
+    pub cycle_threshold: TemperatureDelta,
+    /// Controller down-switch hysteresis (paper: 2 °C).
+    pub hysteresis: TemperatureDelta,
+    /// Safety margin subtracted from the target during characterization,
+    /// absorbing forecast error and transition lag so the runtime
+    /// guarantee holds (1 °C default).
+    pub control_margin: TemperatureDelta,
+    /// Use the ARMA forecast (true, the paper's proactive controller) or
+    /// the current reading (false; the reactive ablation).
+    pub proactive: bool,
+    /// Record the per-sample maximum temperature and flow-setting series
+    /// into the report (for plotting and trace analysis).
+    pub record_series: bool,
+    /// Power model.
+    pub power: PowerModel,
+    /// Leakage model (switchable for the leakage ablation).
+    pub leakage: LeakageModel,
+    /// Pump model.
+    pub pump: Pump,
+    /// Thermal model configuration.
+    pub thermal: ThermalConfig,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper's defaults for a steady
+    /// workload.
+    pub fn new(
+        system: SystemKind,
+        cooling: CoolingKind,
+        policy: PolicyKind,
+        benchmark: Benchmark,
+    ) -> Self {
+        Self::with_workload(system, cooling, policy, PhasedWorkload::steady(benchmark))
+    }
+
+    /// Creates a configuration with an explicit (phased) workload.
+    pub fn with_workload(
+        system: SystemKind,
+        cooling: CoolingKind,
+        policy: PolicyKind,
+        workload: PhasedWorkload,
+    ) -> Self {
+        Self {
+            system,
+            cooling,
+            policy,
+            workload,
+            duration: Seconds::new(60.0),
+            seed: 42,
+            grid_cell: Length::from_millimeters(1.0),
+            dpm: false,
+            sampling_interval: Seconds::from_millis(100.0),
+            scheduler_tick: Seconds::from_millis(1.0),
+            thermal_substeps: 5,
+            hot_spot_threshold: Celsius::new(85.0),
+            target_temperature: Celsius::new(80.0),
+            gradient_threshold: TemperatureDelta::new(15.0),
+            cycle_threshold: TemperatureDelta::new(20.0),
+            hysteresis: TemperatureDelta::new(2.0),
+            control_margin: TemperatureDelta::new(1.0),
+            proactive: true,
+            record_series: false,
+            power: PowerModel::ultrasparc_t1(),
+            leakage: LeakageModel::su_polynomial(),
+            pump: Pump::laing_ddc(),
+            thermal: ThermalConfig::default(),
+        }
+    }
+
+    /// Sets the simulated duration.
+    pub fn with_duration(mut self, duration: Seconds) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the workload generator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables DPM.
+    pub fn with_dpm(mut self, dpm: bool) -> Self {
+        self.dpm = dpm;
+        self
+    }
+
+    /// Sets the thermal grid cell size.
+    pub fn with_grid_cell(mut self, cell: Length) -> Self {
+        self.grid_cell = cell;
+        self
+    }
+
+    /// Selects proactive (forecast) or reactive control.
+    pub fn with_proactive(mut self, proactive: bool) -> Self {
+        self.proactive = proactive;
+        self
+    }
+
+    /// Replaces the leakage model (ablations).
+    pub fn with_leakage(mut self, leakage: LeakageModel) -> Self {
+        self.leakage = leakage;
+        self
+    }
+
+    /// Sets the controller hysteresis (ablations).
+    pub fn with_hysteresis(mut self, h: TemperatureDelta) -> Self {
+        self.hysteresis = h;
+        self
+    }
+
+    /// Enables per-sample series recording in the report.
+    pub fn with_series(mut self, record: bool) -> Self {
+        self.record_series = record;
+        self
+    }
+
+    /// A short human-readable label, e.g. `TALB (Var)` — the paper's
+    /// legend format.
+    pub fn label(&self) -> String {
+        format!("{} ({})", self.policy.label(), self.cooling.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        let cfg = SimConfig::new(
+            SystemKind::TwoLayer,
+            CoolingKind::LiquidVariable,
+            PolicyKind::Talb,
+            Benchmark::by_name("gzip").unwrap(),
+        );
+        assert_eq!(cfg.label(), "TALB (Var)");
+        assert_eq!(
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::Air,
+                PolicyKind::LoadBalancing,
+                Benchmark::by_name("gcc").unwrap(),
+            )
+            .label(),
+            "LB (Air)"
+        );
+    }
+
+    #[test]
+    fn stacks_match_cooling() {
+        assert!(SystemKind::TwoLayer.stack(true).is_liquid_cooled());
+        assert!(!SystemKind::FourLayer.stack(false).is_liquid_cooled());
+        assert_eq!(SystemKind::FourLayer.stack(true).core_count(), 16);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = SimConfig::new(
+            SystemKind::TwoLayer,
+            CoolingKind::LiquidMax,
+            PolicyKind::LoadBalancing,
+            Benchmark::by_name("gzip").unwrap(),
+        )
+        .with_duration(Seconds::new(10.0))
+        .with_seed(7)
+        .with_dpm(true)
+        .with_proactive(false);
+        assert_eq!(cfg.duration, Seconds::new(10.0));
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.dpm);
+        assert!(!cfg.proactive);
+    }
+}

@@ -1,0 +1,741 @@
+//! The simulation engine: scheduler ticks, power billing, thermal
+//! stepping, forecasting and flow control.
+
+use vfc_control::{balanced_power_rows, characterize, FlowController, FlowLut};
+use vfc_floorplan::{BlockKind, GridSpec, Stack3d};
+use vfc_forecast::TemperaturePredictor;
+use vfc_power::FixedTimeoutDpm;
+use vfc_sched::{
+    CoreQueue, LoadBalancing, ReactiveMigration, SchedContext, SchedulingPolicy,
+    TemperatureAwareLb, ThermalWeightTable, ThroughputMeter,
+};
+use vfc_thermal::{BlockTemperatures, StackThermalBuilder, ThermalModel};
+use vfc_units::{Celsius, Watts};
+use vfc_workload::WorkloadGenerator;
+
+use crate::{CoolingKind, MetricsCollector, PolicyKind, SimConfig, SimError, SimReport};
+
+/// One fully constructed simulation run.
+///
+/// Construction performs the paper's pre-processing: steady-state
+/// characterization of the flow settings into the controller LUT (for
+/// variable-flow runs) and the balanced-power solve into TALB's weight
+/// table. [`Simulation::run`] then executes the timed loop and returns a
+/// [`SimReport`].
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    stack: Stack3d,
+    /// One thermal model per *available* flow setting (air and fixed-flow
+    /// runs hold exactly one).
+    models: Vec<ThermalModel>,
+    /// models[active] is the network currently cooling the stack.
+    active: usize,
+    temps: Vec<f64>,
+    /// Global core order: (tier, block index).
+    cores: Vec<(usize, usize)>,
+    /// Per L2 block: (tier, block, served global core ids).
+    l2s: Vec<(usize, usize, Vec<usize>)>,
+    /// Per crossbar block: (tier, block, group core ids, share of the
+    /// group's crossbar power).
+    xbars: Vec<(usize, usize, Vec<usize>, f64)>,
+    /// Fixed blocks: (tier, block, watts).
+    fixed_blocks: Vec<(usize, usize, f64)>,
+    controller: Option<FlowController>,
+    predictor: Option<TemperaturePredictor>,
+    weight_table: ThermalWeightTable,
+}
+
+impl Simulation {
+    /// Builds a simulation: stacks, thermal models, characterization LUT
+    /// and TALB weights.
+    ///
+    /// # Errors
+    ///
+    /// Any thermal/characterization failure, or an invalid configuration
+    /// (zero duration, degenerate sampling).
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        if cfg.duration.value() <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                context: "duration must be positive".into(),
+            });
+        }
+        if cfg.sampling_interval.value() < cfg.scheduler_tick.value() {
+            return Err(SimError::InvalidConfig {
+                context: "sampling interval must cover at least one tick".into(),
+            });
+        }
+        let stack = cfg.system.stack(cfg.cooling.is_liquid());
+        let grid = GridSpec::from_cell_size(stack.tiers()[0].floorplan(), cfg.grid_cell);
+        let builder = StackThermalBuilder::new(&stack, grid, cfg.thermal);
+        let cavities = stack.cavity_count();
+
+        // Build the thermal model(s).
+        let (models, active, controller) = match cfg.cooling {
+            CoolingKind::Air => {
+                let m = builder.build(None)?;
+                (vec![m], 0, None)
+            }
+            CoolingKind::LiquidFixed(s) => {
+                let flow = cfg.pump.per_cavity_flow(s, cavities);
+                (vec![builder.build(Some(flow))?], 0, None)
+            }
+            CoolingKind::LiquidMax => {
+                let flow = cfg.pump.per_cavity_flow(cfg.pump.max_setting(), cavities);
+                (vec![builder.build(Some(flow))?], 0, None)
+            }
+            CoolingKind::LiquidVariable => {
+                let mut models = Vec::with_capacity(cfg.pump.setting_count());
+                for s in cfg.pump.flow_settings() {
+                    let flow = cfg.pump.per_cavity_flow(s, cavities);
+                    models.push(builder.build(Some(flow))?);
+                }
+                // Characterize heat demand vs flow setting into the LUT,
+                // with a safety margin on the target absorbing forecast
+                // error and pump-transition lag.
+                let c = characterize(
+                    &builder,
+                    &cfg.pump,
+                    cavities,
+                    cfg.target_temperature - cfg.control_margin,
+                    7,
+                    &|demand, model| {
+                        characterization_power(&cfg, &stack, model, demand)
+                    },
+                )?;
+                let lut = FlowLut::from_characterization(&c, &cfg.pump)?;
+                let ctrl =
+                    FlowController::with_hysteresis(lut, &cfg.pump, cfg.hysteresis);
+                let active = ctrl.effective_setting().index();
+                (models, active, Some(ctrl))
+            }
+        };
+
+        // Enumerate cores/L2s/crossbars once.
+        let mut cores = Vec::new();
+        for (t, tier) in stack.tiers().iter().enumerate() {
+            for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+                if blk.is_core() {
+                    cores.push((t, b));
+                }
+            }
+        }
+        let l2s = map_l2_blocks(&stack, &cores);
+        let xbars = map_crossbars(&stack, &cores);
+        let mut fixed_blocks = Vec::new();
+        for (t, tier) in stack.tiers().iter().enumerate() {
+            for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+                let w = cfg.power.fixed_block_power(blk.kind()).value();
+                if w > 0.0 {
+                    fixed_blocks.push((t, b, w));
+                }
+            }
+        }
+
+        // TALB weight table from the balanced-power characterization.
+        let weight_model = &models[models.len() / 2];
+        let background = background_power(&cfg, &stack, weight_model);
+        let weight_table = if cfg.policy == PolicyKind::Talb {
+            let rows = balanced_power_rows(
+                weight_model,
+                &stack,
+                &background,
+                &[Celsius::new(65.0), Celsius::new(75.0), Celsius::new(85.0)],
+            )?;
+            ThermalWeightTable::from_balanced_powers(rows)
+        } else {
+            ThermalWeightTable::uniform(cores.len())
+        };
+
+        let predictor = (matches!(cfg.cooling, CoolingKind::LiquidVariable) && cfg.proactive)
+            .then(TemperaturePredictor::paper_default);
+
+        let temps = models[active].initial_state();
+        Ok(Self {
+            cfg,
+            stack,
+            models,
+            active,
+            temps,
+            cores,
+            l2s,
+            xbars,
+            fixed_blocks,
+            controller,
+            predictor,
+            weight_table,
+        })
+    }
+
+    /// Number of cores in the simulated system.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The TALB weight table in effect (uniform for other policies).
+    pub fn weight_table(&self) -> &ThermalWeightTable {
+        &self.weight_table
+    }
+
+    /// Runs the configured duration and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal solver failures.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        let cfg = self.cfg.clone();
+        let n = self.cores.len();
+        let tick = cfg.scheduler_tick;
+        let sample_every = (cfg.sampling_interval.value() / tick.value()).round() as usize;
+        let total_ticks = cfg.duration.steps_of(tick);
+
+        let mut policy: Box<dyn SchedulingPolicy> = match cfg.policy {
+            PolicyKind::LoadBalancing => Box::new(LoadBalancing::new()),
+            PolicyKind::ReactiveMigration => Box::new(ReactiveMigration::new()),
+            PolicyKind::Talb => Box::new(TemperatureAwareLb::new()),
+        };
+        let mut queues = vec![CoreQueue::new(); n];
+        let mut dpm = if cfg.dpm {
+            FixedTimeoutDpm::new(n)
+        } else {
+            FixedTimeoutDpm::disabled(n)
+        };
+        // Table II utilizations are measured per hardware thread; the T1
+        // runs 4 contexts per core, so the generator is calibrated for
+        // n × 4 contexts.
+        let contexts = vfc_sched::DEFAULT_CONTEXTS;
+        let mut generator = WorkloadGenerator::new(
+            cfg.workload.benchmark_at(vfc_units::Seconds::ZERO),
+            n * contexts,
+            cfg.seed,
+        );
+        let mut meter = ThroughputMeter::new();
+        let mut metrics = MetricsCollector::new(
+            n,
+            cfg.hot_spot_threshold,
+            cfg.gradient_threshold,
+            cfg.cycle_threshold,
+            cfg.target_temperature,
+        );
+
+        // Paper: "all simulations are initialized with steady state
+        // temperature values" — two leakage fixed-point rounds.
+        let init_util = vec![generator.benchmark().utilization(); n];
+        let sleep0 = vec![0.0; n];
+        let mut block_temps = {
+            let bench = generator.benchmark();
+            let mut bt = BlockTemperatures::extract(&self.models[self.active], &self.temps);
+            for _ in 0..2 {
+                let p = self.build_power(&init_util, &sleep0, bench.memory_intensity(), &bt);
+                self.temps = self.models[self.active].steady_state(&p, Some(&self.temps))?;
+                bt = BlockTemperatures::extract(&self.models[self.active], &self.temps);
+            }
+            bt
+        };
+        let mut core_temps = block_temps.core_max_temperatures(&self.stack);
+        let mut weights = self
+            .weight_table
+            .weights_for(max_of(&core_temps))
+            .to_vec();
+
+        let mut busy_ticks = vec![0u32; n];
+        let mut flow_setting_sum = 0.0;
+        let mut flow_samples = 0usize;
+        let mut tmax_series: Vec<f64> = Vec::new();
+        let mut flow_series: Vec<u8> = Vec::new();
+
+        for tick_i in 0..total_ticks {
+            let now = vfc_units::Seconds::new(tick.value() * tick_i as f64);
+            let bench = cfg.workload.benchmark_at(now);
+            if bench.name != generator.benchmark().name {
+                generator.set_benchmark(bench);
+            }
+
+            // Arrivals and placement.
+            for th in generator.poll(tick) {
+                let ctx = SchedContext {
+                    core_temps: &core_temps,
+                    weights: &weights,
+                };
+                policy.place(th, &mut queues, &ctx);
+            }
+            // Work wakes sleeping cores.
+            for (i, q) in queues.iter().enumerate() {
+                if q.load() > 0 {
+                    dpm.wake(i);
+                }
+            }
+            {
+                let ctx = SchedContext {
+                    core_temps: &core_temps,
+                    weights: &weights,
+                };
+                policy.rebalance(&mut queues, &ctx);
+            }
+            // Execute: contexts busy this tick = min(load, contexts).
+            for (i, q) in queues.iter_mut().enumerate() {
+                let busy_now = q.load().min(q.contexts()) as u32;
+                for done in q.tick(tick) {
+                    meter.record(&done);
+                }
+                dpm.tick(i, busy_now > 0, tick);
+                busy_ticks[i] += busy_now;
+            }
+
+            // Sampling boundary: thermal + control + metrics.
+            if (tick_i + 1) % sample_every == 0 {
+                let dt = cfg.sampling_interval;
+                let util: Vec<f64> = busy_ticks
+                    .iter()
+                    .map(|&b| b as f64 / (sample_every * contexts) as f64)
+                    .collect();
+                let sleeping: Vec<f64> = (0..n)
+                    .map(|i| {
+                        if dpm.state(i) == vfc_power::PowerState::Sleep {
+                            1.0 - util[i]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                busy_ticks.fill(0);
+
+                let power =
+                    self.build_power(&util, &sleeping, bench.memory_intensity(), &block_temps);
+                let chip_w = Watts::new(power.iter().sum());
+                self.models[self.active].step(
+                    &mut self.temps,
+                    &power,
+                    dt,
+                    cfg.thermal_substeps,
+                )?;
+                block_temps = BlockTemperatures::extract(&self.models[self.active], &self.temps);
+                core_temps = block_temps.core_max_temperatures(&self.stack);
+                let tmax = max_of(&core_temps);
+                let gradient = block_temps.max_spatial_gradient();
+
+                let pump_w = match cfg.cooling {
+                    CoolingKind::Air => Watts::ZERO,
+                    CoolingKind::LiquidFixed(s) => cfg.pump.power(s),
+                    CoolingKind::LiquidMax => cfg.pump.power(cfg.pump.max_setting()),
+                    CoolingKind::LiquidVariable => {
+                        let s = self
+                            .controller
+                            .as_ref()
+                            .expect("variable cooling has a controller")
+                            .effective_setting();
+                        cfg.pump.power(s)
+                    }
+                };
+                metrics.record_sample(&core_temps, gradient, chip_w, pump_w, dt);
+                if cfg.record_series {
+                    tmax_series.push(tmax.value());
+                    if self.controller.is_some() {
+                        flow_series.push(self.active as u8);
+                    }
+                }
+
+                if let Some(ctrl) = self.controller.as_mut() {
+                    let prediction = match self.predictor.as_mut() {
+                        Some(p) => {
+                            p.observe(tmax);
+                            p.forecast().unwrap_or(tmax)
+                        }
+                        None => tmax, // reactive ablation
+                    };
+                    let setting = ctrl.step(prediction, dt);
+                    self.active = setting.index();
+                    flow_setting_sum += setting.index() as f64;
+                    flow_samples += 1;
+                }
+                weights = self.weight_table.weights_for(tmax).to_vec();
+            }
+        }
+
+        let elapsed = cfg.duration;
+        Ok(SimReport {
+            label: cfg.label(),
+            system: cfg.system.label().to_string(),
+            workload: workload_name(&cfg),
+            duration: elapsed,
+            samples: metrics.samples(),
+            hot_spot_pct: metrics.hot_spot_pct(),
+            above_target_pct: metrics.above_target_pct(),
+            gradient_pct: metrics.gradient_pct(),
+            gradient_minor_pct: metrics.gradient_minor_pct(),
+            cycle_pct: metrics.cycle_pct(),
+            cycle_minor_pct: metrics.cycle_minor_pct(),
+            chip_energy: metrics.chip_energy(),
+            pump_energy: metrics.pump_energy(),
+            completed_threads: meter.completed(),
+            throughput: meter.throughput(elapsed),
+            migrations: policy.migration_count(),
+            mean_temperature: metrics.mean_tmax(),
+            max_temperature: metrics.peak_tmax(),
+            controller_switches: self
+                .controller
+                .as_ref()
+                .map(FlowController::switch_count)
+                .unwrap_or(0),
+            forecast_mae: self.predictor.as_ref().and_then(|p| p.mean_abs_error()),
+            predictor_refits: self
+                .predictor
+                .as_ref()
+                .map(TemperaturePredictor::refit_count)
+                .unwrap_or(0),
+            mean_flow_setting: (flow_samples > 0)
+                .then(|| flow_setting_sum / flow_samples as f64),
+            tmax_series: cfg.record_series.then_some(tmax_series),
+            flow_series: (cfg.record_series && !flow_series.is_empty()).then_some(flow_series),
+        })
+    }
+
+    /// Builds the node power vector for one interval.
+    fn build_power(
+        &self,
+        util: &[f64],
+        sleeping: &[f64],
+        memory_intensity: f64,
+        block_temps: &BlockTemperatures,
+    ) -> Vec<f64> {
+        let cfg = &self.cfg;
+        let model = &self.models[self.active];
+        let mut p = model.zero_power();
+
+        // Cores: utilization-weighted active/idle plus the sleep share.
+        for (gid, &(t, b)) in self.cores.iter().enumerate() {
+            let awake = 1.0 - sleeping[gid];
+            let u = util[gid].min(awake);
+            let dynamic = u * cfg.power.core_active
+                + (awake - u).max(0.0) * cfg.power.core_idle
+                + sleeping[gid] * cfg.power.core_sleep;
+            let leak = cfg
+                .leakage
+                .block_leakage(
+                    &self.stack.tiers()[t].floorplan().blocks()[b],
+                    block_temps.block_max(t, b),
+                )
+                .value();
+            model.add_block_power(&mut p, t, b, Watts::new(dynamic + leak));
+        }
+        // L2 banks follow their cores' activity.
+        for (t, b, served) in &self.l2s {
+            let act = if served.is_empty() {
+                0.0
+            } else {
+                served.iter().map(|&c| util[c]).sum::<f64>() / served.len() as f64
+            };
+            let leak = cfg
+                .leakage
+                .block_leakage(
+                    &self.stack.tiers()[*t].floorplan().blocks()[*b],
+                    block_temps.block_max(*t, *b),
+                )
+                .value();
+            model.add_block_power(
+                &mut p,
+                *t,
+                *b,
+                Watts::new(cfg.power.l2_power(act).value() + leak),
+            );
+        }
+        // Crossbar columns scale with active cores and memory intensity.
+        for (t, b, group, share) in &self.xbars {
+            let active = if group.is_empty() {
+                0.0
+            } else {
+                group.iter().filter(|&&c| util[c] > 0.0).count() as f64 / group.len() as f64
+            };
+            let w = cfg.power.crossbar_power(active, memory_intensity).value() * share;
+            let leak = cfg
+                .leakage
+                .block_leakage(
+                    &self.stack.tiers()[*t].floorplan().blocks()[*b],
+                    block_temps.block_max(*t, *b),
+                )
+                .value();
+            model.add_block_power(&mut p, *t, *b, Watts::new(w + leak));
+        }
+        // Fixed blocks (uncore, buffers) plus leakage.
+        for &(t, b, w) in &self.fixed_blocks {
+            let leak = cfg
+                .leakage
+                .block_leakage(
+                    &self.stack.tiers()[t].floorplan().blocks()[b],
+                    block_temps.block_max(t, b),
+                )
+                .value();
+            model.add_block_power(&mut p, t, b, Watts::new(w + leak));
+        }
+        p
+    }
+}
+
+/// Power map used during characterization: uniform demand on every unit,
+/// leakage at the control target (conservative).
+fn characterization_power(
+    cfg: &SimConfig,
+    stack: &Stack3d,
+    model: &ThermalModel,
+    demand: f64,
+) -> Vec<f64> {
+    let mut p = model.zero_power();
+    let leak_t = cfg.target_temperature;
+    for (t, tier) in stack.tiers().iter().enumerate() {
+        for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+            let dynamic = match blk.kind() {
+                BlockKind::Core => cfg.power.core_power(demand, false).value(),
+                BlockKind::L2Cache => cfg.power.l2_power(demand).value(),
+                // Characterize with a memory-heavy mix (conservative).
+                BlockKind::Crossbar => cfg.power.crossbar_power(demand, 0.8).value() * 0.5,
+                kind => cfg.power.fixed_block_power(kind).value(),
+            };
+            let leak = cfg.leakage.block_leakage(blk, leak_t).value();
+            model.add_block_power(&mut p, t, b, Watts::new(dynamic + leak));
+        }
+    }
+    p
+}
+
+/// Background (non-core) power for the TALB balanced-power solve: caches
+/// and crossbars at 50% activity, leakage at 75 °C.
+fn background_power(cfg: &SimConfig, stack: &Stack3d, model: &ThermalModel) -> Vec<f64> {
+    let mut p = model.zero_power();
+    for (t, tier) in stack.tiers().iter().enumerate() {
+        for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+            let dynamic = match blk.kind() {
+                BlockKind::Core => 0.0,
+                BlockKind::L2Cache => cfg.power.l2_power(0.5).value(),
+                BlockKind::Crossbar => cfg.power.crossbar_power(0.5, 0.5).value() * 0.5,
+                kind => cfg.power.fixed_block_power(kind).value(),
+            };
+            let leak = if blk.is_core() {
+                0.0
+            } else {
+                cfg.leakage.block_leakage(blk, Celsius::new(75.0)).value()
+            };
+            if dynamic + leak > 0.0 {
+                model.add_block_power(&mut p, t, b, Watts::new(dynamic + leak));
+            }
+        }
+    }
+    p
+}
+
+/// Maps each L2 bank to the global ids of the cores it serves: bank
+/// `l2_k` pairs with cores `2k, 2k+1` of the adjacent core tier.
+fn map_l2_blocks(stack: &Stack3d, cores: &[(usize, usize)]) -> Vec<(usize, usize, Vec<usize>)> {
+    let mut out = Vec::new();
+    for (t, tier) in stack.tiers().iter().enumerate() {
+        for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+            if blk.kind() != BlockKind::L2Cache {
+                continue;
+            }
+            // Adjacent core tier: below preferred, else above.
+            let core_tier = if t > 0 && stack.tiers()[t - 1].floorplan().core_count() > 0 {
+                Some(t - 1)
+            } else if t + 1 < stack.tiers().len()
+                && stack.tiers()[t + 1].floorplan().core_count() > 0
+            {
+                Some(t + 1)
+            } else {
+                None
+            };
+            let served: Vec<usize> = match (core_tier, parse_bank_index(blk.name())) {
+                (Some(ct), Some(k)) => cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(gid, &(ctier, _))| {
+                        ctier == ct && {
+                            let local = local_core_index(cores, *gid);
+                            local / 2 == k
+                        }
+                    })
+                    .map(|(gid, _)| gid)
+                    .collect(),
+                (Some(ct), None) => cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(ctier, _))| ctier == ct)
+                    .map(|(gid, _)| gid)
+                    .collect(),
+                (None, _) => Vec::new(),
+            };
+            out.push((t, b, served));
+        }
+    }
+    out
+}
+
+/// Maps crossbar blocks to their core group. Each pair of tiers forms one
+/// logical crossbar whose power is split evenly over its (usually two)
+/// xbar blocks.
+fn map_crossbars(stack: &Stack3d, cores: &[(usize, usize)]) -> Vec<(usize, usize, Vec<usize>, f64)> {
+    // Group tiers in pairs (core+cache): group g covers tiers 2g, 2g+1.
+    let mut blocks: Vec<(usize, usize)> = Vec::new();
+    for (t, tier) in stack.tiers().iter().enumerate() {
+        for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+            if blk.kind() == BlockKind::Crossbar {
+                blocks.push((t, b));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for &(t, b) in &blocks {
+        let group = t / 2;
+        let members = blocks.iter().filter(|&&(t2, _)| t2 / 2 == group).count();
+        let group_cores: Vec<usize> = cores
+            .iter()
+            .enumerate()
+            .filter(|(_, &(ct, _))| ct / 2 == group)
+            .map(|(gid, _)| gid)
+            .collect();
+        out.push((t, b, group_cores, 1.0 / members.max(1) as f64));
+    }
+    out
+}
+
+/// Index of a core within its own tier (0-based, floorplan order).
+fn local_core_index(cores: &[(usize, usize)], gid: usize) -> usize {
+    let (tier, _) = cores[gid];
+    cores[..gid].iter().filter(|&&(t, _)| t == tier).count()
+}
+
+/// Parses the bank index from an `l2_<k>` block name.
+fn parse_bank_index(name: &str) -> Option<usize> {
+    name.rsplit(['_'])
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+}
+
+fn max_of(temps: &[Celsius]) -> Celsius {
+    temps
+        .iter()
+        .copied()
+        .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+}
+
+fn workload_name(cfg: &SimConfig) -> String {
+    let names: Vec<&str> = cfg.workload.phases().map(|(_, b)| b.name).collect();
+    if names.len() == 1 {
+        names[0].to_string()
+    } else {
+        names.join("/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_units::Seconds;
+    use vfc_workload::Benchmark;
+
+    fn quick(cooling: CoolingKind, policy: PolicyKind, bench: &str) -> SimReport {
+        let cfg = SimConfig::new(
+            crate::SystemKind::TwoLayer,
+            cooling,
+            policy,
+            Benchmark::by_name(bench).unwrap(),
+        )
+        .with_duration(Seconds::new(8.0))
+        .with_grid_cell(vfc_units::Length::from_millimeters(2.0));
+        Simulation::new(cfg).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn liquid_max_run_is_cool_and_complete() {
+        let r = quick(CoolingKind::LiquidMax, PolicyKind::LoadBalancing, "gzip");
+        assert_eq!(r.samples, 80);
+        assert!(r.max_temperature.value() < 80.0, "{r}");
+        assert!(r.completed_threads > 0);
+        assert!(r.pump_energy.value() > 0.0);
+        assert_eq!(r.hot_spot_pct, 0.0);
+    }
+
+    #[test]
+    fn variable_flow_tracks_low_demand_with_less_pump_energy() {
+        let var = quick(CoolingKind::LiquidVariable, PolicyKind::Talb, "gzip");
+        let max = quick(CoolingKind::LiquidMax, PolicyKind::Talb, "gzip");
+        assert!(
+            var.pump_energy.value() < max.pump_energy.value(),
+            "var {} vs max {}",
+            var.pump_energy,
+            max.pump_energy
+        );
+        assert!(var.controller_switches > 0);
+        assert!(var.mean_flow_setting.unwrap() < 4.0);
+    }
+
+    #[test]
+    fn air_cooled_runs_report_no_pump_energy() {
+        let r = quick(CoolingKind::Air, PolicyKind::LoadBalancing, "Web-med");
+        assert_eq!(r.pump_energy.value(), 0.0);
+        assert!(r.chip_energy.value() > 0.0);
+    }
+
+    #[test]
+    fn mapping_helpers() {
+        let stack = crate::SystemKind::TwoLayer.stack(true);
+        let mut cores = Vec::new();
+        for (t, tier) in stack.tiers().iter().enumerate() {
+            for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+                if blk.is_core() {
+                    cores.push((t, b));
+                }
+            }
+        }
+        let l2s = map_l2_blocks(&stack, &cores);
+        assert_eq!(l2s.len(), 4);
+        for (_, _, served) in &l2s {
+            assert_eq!(served.len(), 2, "each bank serves a core pair");
+        }
+        // l2_0 serves cores 0 and 1.
+        assert_eq!(l2s[0].2, vec![0, 1]);
+
+        let xbars = map_crossbars(&stack, &cores);
+        assert_eq!(xbars.len(), 2);
+        for (_, _, group, share) in &xbars {
+            assert_eq!(group.len(), 8);
+            assert!((share - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn series_recording_captures_every_sample() {
+        let cfg = SimConfig::new(
+            crate::SystemKind::TwoLayer,
+            CoolingKind::LiquidVariable,
+            PolicyKind::Talb,
+            Benchmark::by_name("Database").unwrap(),
+        )
+        .with_duration(Seconds::new(4.0))
+        .with_grid_cell(vfc_units::Length::from_millimeters(2.0))
+        .with_series(true);
+        let r = Simulation::new(cfg).unwrap().run().unwrap();
+        let tmax = r.tmax_series.as_ref().expect("series recorded");
+        let flow = r.flow_series.as_ref().expect("flow recorded for Var");
+        assert_eq!(tmax.len(), r.samples);
+        assert_eq!(flow.len(), r.samples);
+        let peak = tmax.iter().copied().fold(f64::MIN, f64::max);
+        assert!((peak - r.max_temperature.value()).abs() < 1e-9);
+        // The controller starts at the max setting and descends for this
+        // low-demand workload.
+        assert!(flow[0] == 4);
+        assert!(*flow.last().unwrap() < 4);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = SimConfig::new(
+            crate::SystemKind::TwoLayer,
+            CoolingKind::Air,
+            PolicyKind::LoadBalancing,
+            Benchmark::by_name("gzip").unwrap(),
+        )
+        .with_duration(Seconds::ZERO);
+        assert!(matches!(
+            Simulation::new(cfg),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,74 @@
+//! Simulation errors.
+
+use vfc_control::ControlError;
+use vfc_floorplan::FloorplanError;
+use vfc_thermal::ThermalError;
+
+/// Errors raised while constructing or running a simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// Thermal model failure.
+    Thermal(ThermalError),
+    /// Controller/characterization failure.
+    Control(ControlError),
+    /// Stack/floorplan failure.
+    Floorplan(FloorplanError),
+    /// Inconsistent configuration.
+    InvalidConfig {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Thermal(e) => write!(f, "thermal model failed: {e}"),
+            SimError::Control(e) => write!(f, "controller failed: {e}"),
+            SimError::Floorplan(e) => write!(f, "stack construction failed: {e}"),
+            SimError::InvalidConfig { context } => write!(f, "invalid configuration: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Thermal(e) => Some(e),
+            SimError::Control(e) => Some(e),
+            SimError::Floorplan(e) => Some(e),
+            SimError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<ThermalError> for SimError {
+    fn from(e: ThermalError) -> Self {
+        SimError::Thermal(e)
+    }
+}
+
+impl From<ControlError> for SimError {
+    fn from(e: ControlError) -> Self {
+        SimError::Control(e)
+    }
+}
+
+impl From<FloorplanError> for SimError {
+    fn from(e: FloorplanError) -> Self {
+        SimError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SimError::InvalidConfig {
+            context: "zero duration".into(),
+        };
+        assert!(e.to_string().contains("zero duration"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Configuration of the thermal network builder.
+
+use vfc_liquid::{ChannelGeometry, ConvectionModel, Coolant};
+use vfc_units::{Celsius, HeatCapacity, Length, ThermalResistance};
+
+/// The conventional air-cooled package attached at the
+/// [`Interface::HeatSink`](vfc_floorplan::Interface::HeatSink) interface.
+///
+/// Sink capacitance/resistance come from Table III; the TIM resistance is
+/// the calibration knob that places the hottest air-cooled workload around
+/// the paper's hot-spot regime (DESIGN.md §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AirPackageConfig {
+    /// Thermal-interface-material area resistance, K·m²/W.
+    pub tim_area_resistance: f64,
+    /// Copper spreader thickness.
+    pub spreader_thickness: Length,
+    /// Spreader-to-sink area resistance, K·m²/W (sink base conduction).
+    pub spreader_to_sink_area_resistance: f64,
+    /// Heat-sink lumped capacitance (Table III: 140 J/K).
+    pub sink_capacitance: HeatCapacity,
+    /// Sink-to-ambient convection resistance (Table III: 0.1 K/W).
+    pub sink_resistance: ThermalResistance,
+    /// Ambient air temperature (HotSpot default: 45 °C).
+    pub ambient: Celsius,
+}
+
+impl Default for AirPackageConfig {
+    fn default() -> Self {
+        Self {
+            tim_area_resistance: 5.5e-5,
+            spreader_thickness: Length::from_millimeters(1.0),
+            spreader_to_sink_area_resistance: 1.2e-5,
+            sink_capacitance: HeatCapacity::new(140.0),
+            sink_resistance: ThermalResistance::new(0.1),
+            ambient: Celsius::new(45.0),
+        }
+    }
+}
+
+/// Liquid-cooling parameters shared by all cavities of a stack.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LiquidCoolingConfig {
+    /// Microchannel array geometry (Table I defaults).
+    pub geometry: ChannelGeometry,
+    /// Working fluid (water, Table I).
+    pub coolant: Coolant,
+    /// Convective model (calibrated flow-scaled by default; the paper's
+    /// constant-h Eq. 6–7 available for comparison).
+    pub convection: ConvectionModel,
+    /// Coolant inlet temperature (hot-water cooling at 60 °C; DESIGN.md
+    /// §4.3).
+    pub inlet: Celsius,
+    /// Fraction of the nominal channel-wall solid cross-section that
+    /// actually conducts tier-to-tier (fin bonding quality; 0–1).
+    pub wall_fill_factor: f64,
+}
+
+impl Default for LiquidCoolingConfig {
+    fn default() -> Self {
+        Self {
+            geometry: ChannelGeometry::ultrasparc(),
+            coolant: Coolant::water(),
+            convection: ConvectionModel::calibrated(),
+            inlet: Celsius::new(60.0),
+            wall_fill_factor: 0.5,
+        }
+    }
+}
+
+/// Full configuration of the thermal network builder.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThermalConfig {
+    /// Air-cooled package parameters.
+    pub air: AirPackageConfig,
+    /// Liquid-cooling parameters.
+    pub liquid: LiquidCoolingConfig,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        Self {
+            air: AirPackageConfig::default(),
+            liquid: LiquidCoolingConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_tables() {
+        let c = ThermalConfig::default();
+        assert_eq!(c.air.sink_capacitance, HeatCapacity::new(140.0));
+        assert_eq!(c.air.sink_resistance, ThermalResistance::new(0.1));
+        assert_eq!(c.air.ambient, Celsius::new(45.0));
+        assert_eq!(c.liquid.inlet, Celsius::new(60.0));
+        assert_eq!(c.liquid.geometry.count(), 65);
+    }
+
+    #[test]
+    fn configs_are_tweakable() {
+        let mut c = ThermalConfig::default();
+        c.liquid.inlet = Celsius::new(30.0);
+        c.air.tim_area_resistance = 1e-4;
+        assert_eq!(c.liquid.inlet.value(), 30.0);
+    }
+}

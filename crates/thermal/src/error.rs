@@ -1,0 +1,80 @@
+//! Thermal-model errors.
+
+use vfc_num::NumError;
+
+/// Errors produced while assembling or solving thermal networks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// A liquid-cooled stack was built without a coolant flow rate.
+    MissingFlowRate,
+    /// A flow rate was supplied for a stack without cavities.
+    UnexpectedFlowRate,
+    /// The supplied power vector has the wrong length.
+    PowerLengthMismatch {
+        /// Expected node count.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The temperature vector has the wrong length.
+    StateLengthMismatch {
+        /// Expected node count.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The linear solver failed.
+    Solver(NumError),
+    /// A non-positive time step was requested.
+    InvalidTimeStep,
+}
+
+impl core::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ThermalError::MissingFlowRate => {
+                write!(f, "liquid-cooled stack requires a coolant flow rate")
+            }
+            ThermalError::UnexpectedFlowRate => {
+                write!(f, "air-cooled stack does not take a coolant flow rate")
+            }
+            ThermalError::PowerLengthMismatch { expected, got } => {
+                write!(f, "power vector has {got} entries, model has {expected} nodes")
+            }
+            ThermalError::StateLengthMismatch { expected, got } => {
+                write!(f, "state vector has {got} entries, model has {expected} nodes")
+            }
+            ThermalError::Solver(e) => write!(f, "thermal solve failed: {e}"),
+            ThermalError::InvalidTimeStep => write!(f, "time step must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThermalError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for ThermalError {
+    fn from(e: NumError) -> Self {
+        ThermalError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ThermalError::Solver(NumError::Breakdown { iterations: 3 });
+        assert!(e.to_string().contains("thermal solve failed"));
+        assert!(e.source().is_some());
+        assert!(ThermalError::MissingFlowRate.source().is_none());
+    }
+}

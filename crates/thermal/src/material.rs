@@ -1,0 +1,73 @@
+//! Bulk material properties used by the network builder.
+//!
+//! Conductivities follow the paper where given (Table I: `kBEOL`,
+//! Table III: bond resistivity) and standard HotSpot-class values
+//! otherwise.
+
+/// A homogeneous material: thermal conductivity and volumetric heat
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Material {
+    /// Thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Volumetric heat capacity, J/(m³·K).
+    pub volumetric_heat: f64,
+}
+
+impl Material {
+    /// Area-normalized resistance of a slab of thickness `t` meters,
+    /// K·m²/W (the paper's Eq. 3 idiom).
+    #[inline]
+    pub fn slab_area_resistance(&self, thickness: f64) -> f64 {
+        thickness / self.conductivity
+    }
+}
+
+/// Bulk silicon (HotSpot-class values at operating temperature).
+pub const SILICON: Material = Material {
+    conductivity: 130.0,
+    volumetric_heat: 1.75e6,
+};
+
+/// Copper (TSVs, heat spreader).
+pub const COPPER: Material = Material {
+    conductivity: 400.0,
+    volumetric_heat: 3.45e6,
+};
+
+/// The wiring (BEOL) stack: Table I gives `kBEOL = 2.25 W/(m·K)`.
+pub const BEOL: Material = Material {
+    conductivity: 2.25,
+    volumetric_heat: 2.25e6,
+};
+
+/// Inter-tier bond material: Table III gives resistivity 0.25 mK/W,
+/// i.e. k = 4 W/(m·K).
+pub const BOND: Material = Material {
+    conductivity: 4.0,
+    volumetric_heat: 2.0e6,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beol_resistance_reproduces_table_i() {
+        // tB = 12 µm, kBEOL = 2.25 → 5.333 K·mm²/W.
+        let r = BEOL.slab_area_resistance(12e-6);
+        assert!((r * 1e6 - 5.333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bond_matches_table_iii_resistivity() {
+        assert!((1.0 / BOND.conductivity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silicon_slab_resistance() {
+        // 0.15 mm of silicon ≈ 1.15 K·mm²/W.
+        let r = SILICON.slab_area_resistance(1.5e-4);
+        assert!((r * 1e6 - 1.1538).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,366 @@
+//! The assembled RC network: node layout, steady-state and transient
+//! solvers.
+
+use vfc_num::{BiCgStab, CsrBuilder, CsrMatrix};
+use vfc_units::{Celsius, Seconds, Watts};
+
+use crate::ThermalError;
+
+/// Where each physical entity lives in the flat node vector.
+///
+/// Node order: all tier junction cells (tier-major, row-major within a
+/// tier), then all cavity fluid cells (bottom-up), then the spreader cells
+/// and the sink node for air-cooled stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLayout {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) tier_offsets: Vec<usize>,
+    /// `(interface index, node offset)` for each microchannel cavity.
+    pub(crate) cavities: Vec<(usize, usize)>,
+    pub(crate) spreader_offset: Option<usize>,
+    pub(crate) sink_node: Option<usize>,
+    pub(crate) node_count: usize,
+    /// Per tier: flat cell index → block index on that tier's floorplan.
+    pub(crate) tier_cell_block: Vec<Vec<usize>>,
+    /// Per tier: block index → number of grid cells it covers.
+    pub(crate) tier_block_cell_counts: Vec<Vec<usize>>,
+}
+
+impl NodeLayout {
+    /// Grid rows (y, across the channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns (x, along the flow).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cells per layer.
+    pub fn cells_per_layer(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tier_offsets.len()
+    }
+
+    /// Number of microchannel cavities.
+    pub fn cavity_count(&self) -> usize {
+        self.cavities.len()
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Node index of a tier junction cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[inline]
+    pub fn tier_node(&self, tier: usize, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        self.tier_offsets[tier] + row * self.cols + col
+    }
+
+    /// Node index of a cavity fluid cell (`cavity` counts cavities
+    /// bottom-up, not interfaces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[inline]
+    pub fn fluid_node(&self, cavity: usize, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        self.cavities[cavity].1 + row * self.cols + col
+    }
+
+    /// Node index of a spreader cell, if this is an air-cooled model.
+    pub fn spreader_node(&self, row: usize, col: usize) -> Option<usize> {
+        self.spreader_offset
+            .map(|off| off + row * self.cols + col)
+    }
+
+    /// The lumped heat-sink node, if this is an air-cooled model.
+    pub fn sink_node(&self) -> Option<usize> {
+        self.sink_node
+    }
+
+    /// Block index covering a tier cell.
+    #[inline]
+    pub fn block_of_cell(&self, tier: usize, row: usize, col: usize) -> usize {
+        self.tier_cell_block[tier][row * self.cols + col]
+    }
+
+    /// Number of cells covered by a block.
+    pub fn block_cell_count(&self, tier: usize, block: usize) -> usize {
+        self.tier_block_cell_counts[tier][block]
+    }
+}
+
+/// An assembled thermal RC network for one stack at one coolant flow rate.
+///
+/// Produced by [`StackThermalBuilder`](crate::StackThermalBuilder). The
+/// conductance matrix is fixed; changing the flow rate means building a new
+/// model (the five pump settings are typically all built once and cached).
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    pub(crate) g: CsrMatrix,
+    pub(crate) cap: Vec<f64>,
+    /// Boundary injection `Σ G_b·T_b` per node.
+    pub(crate) b0: Vec<f64>,
+    /// `(node, conductance, boundary temperature)` links for validation.
+    pub(crate) boundary_links: Vec<(usize, f64, f64)>,
+    pub(crate) layout: NodeLayout,
+    /// Reference temperature used for cold starts (coolant inlet or
+    /// ambient).
+    pub(crate) reference: f64,
+    pub(crate) solver: BiCgStab,
+    /// Cached backward-Euler matrix keyed by the bit pattern of the
+    /// sub-step length.
+    be_cache: Option<(u64, CsrMatrix)>,
+}
+
+impl ThermalModel {
+    pub(crate) fn new(
+        g: CsrMatrix,
+        cap: Vec<f64>,
+        b0: Vec<f64>,
+        boundary_links: Vec<(usize, f64, f64)>,
+        layout: NodeLayout,
+        reference: f64,
+    ) -> Self {
+        Self {
+            g,
+            cap,
+            b0,
+            boundary_links,
+            layout,
+            reference,
+            solver: BiCgStab::default(),
+            be_cache: None,
+        }
+    }
+
+    /// The node layout of this model.
+    pub fn layout(&self) -> &NodeLayout {
+        &self.layout
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.layout.node_count
+    }
+
+    /// The conductance matrix (diagnostics, tests).
+    pub fn conductance_matrix(&self) -> &CsrMatrix {
+        &self.g
+    }
+
+    /// The boundary injection vector `b₀ = Σ G_b·T_b` (ambient/inlet
+    /// couplings folded into the rhs); used by mixed boundary-condition
+    /// solves such as the TALB balanced-power characterization.
+    pub fn boundary_injection(&self) -> &[f64] {
+        &self.b0
+    }
+
+    /// A state vector initialized to the model's reference temperature
+    /// (coolant inlet for liquid stacks, ambient for air).
+    pub fn initial_state(&self) -> Vec<f64> {
+        vec![self.reference; self.layout.node_count]
+    }
+
+    /// The reference (cold-start) temperature.
+    pub fn reference_temperature(&self) -> Celsius {
+        Celsius::new(self.reference)
+    }
+
+    /// A zero power vector of the right length.
+    pub fn zero_power(&self) -> Vec<f64> {
+        vec![0.0; self.layout.node_count]
+    }
+
+    /// Builds a node power vector by assigning each block a total power
+    /// chosen by `per_block`, spread uniformly over the block's cells.
+    pub fn uniform_block_power(
+        &self,
+        stack: &vfc_floorplan::Stack3d,
+        per_block: impl Fn(&vfc_floorplan::Block) -> Watts,
+    ) -> Vec<f64> {
+        let mut p = self.zero_power();
+        for (t, tier) in stack.tiers().iter().enumerate() {
+            for (bi, block) in tier.floorplan().blocks().iter().enumerate() {
+                let w = per_block(block).value();
+                if w == 0.0 {
+                    continue;
+                }
+                let cells = self.layout.tier_block_cell_counts[t][bi];
+                if cells == 0 {
+                    continue;
+                }
+                let per_cell = w / cells as f64;
+                for (flat, &b) in self.layout.tier_cell_block[t].iter().enumerate() {
+                    if b == bi {
+                        p[self.layout.tier_offsets[t] + flat] += per_cell;
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// Adds `watts` of power to one block, spread uniformly over its
+    /// cells, into an existing node power vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` differs from the node count or indices are
+    /// out of range.
+    pub fn add_block_power(
+        &self,
+        power: &mut [f64],
+        tier: usize,
+        block: usize,
+        watts: Watts,
+    ) {
+        assert_eq!(power.len(), self.layout.node_count, "power length");
+        let cells = self.layout.tier_block_cell_counts[tier][block];
+        if cells == 0 || watts.value() == 0.0 {
+            return;
+        }
+        let per_cell = watts.value() / cells as f64;
+        for (flat, &b) in self.layout.tier_cell_block[tier].iter().enumerate() {
+            if b == block {
+                power[self.layout.tier_offsets[tier] + flat] += per_cell;
+            }
+        }
+    }
+
+    /// Solves the steady state `G·T = P + b₀`.
+    ///
+    /// `warm` seeds the iterative solver (e.g. the previous operating
+    /// point); otherwise the reference temperature is used.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerLengthMismatch`] or a solver failure.
+    pub fn steady_state(
+        &self,
+        power: &[f64],
+        warm: Option<&[f64]>,
+    ) -> Result<Vec<f64>, ThermalError> {
+        if power.len() != self.layout.node_count {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.layout.node_count,
+                got: power.len(),
+            });
+        }
+        let mut x = match warm {
+            Some(w) if w.len() == self.layout.node_count => w.to_vec(),
+            _ => self.initial_state(),
+        };
+        let rhs: Vec<f64> = power
+            .iter()
+            .zip(&self.b0)
+            .map(|(p, b)| p + b)
+            .collect();
+        self.solver.solve(&self.g, &rhs, &mut x)?;
+        Ok(x)
+    }
+
+    /// Advances the transient state by `dt` using `substeps` backward-Euler
+    /// sub-steps (the power is held constant over the interval).
+    ///
+    /// # Errors
+    ///
+    /// Length mismatches, [`ThermalError::InvalidTimeStep`], or solver
+    /// failures.
+    pub fn step(
+        &mut self,
+        temps: &mut [f64],
+        power: &[f64],
+        dt: Seconds,
+        substeps: usize,
+    ) -> Result<(), ThermalError> {
+        let n = self.layout.node_count;
+        if power.len() != n {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: n,
+                got: power.len(),
+            });
+        }
+        if temps.len() != n {
+            return Err(ThermalError::StateLengthMismatch {
+                expected: n,
+                got: temps.len(),
+            });
+        }
+        if dt.value() <= 0.0 || substeps == 0 {
+            return Err(ThermalError::InvalidTimeStep);
+        }
+        let h = dt.value() / substeps as f64;
+        self.ensure_be_matrix(h);
+        let a = &self
+            .be_cache
+            .as_ref()
+            .expect("ensure_be_matrix populates the cache")
+            .1;
+        let mut rhs = vec![0.0; n];
+        for _ in 0..substeps {
+            for i in 0..n {
+                rhs[i] = self.cap[i] / h * temps[i] + power[i] + self.b0[i];
+            }
+            self.solver.solve(a, &rhs, temps)?;
+        }
+        Ok(())
+    }
+
+    /// Maximum junction (tier-node) temperature.
+    pub fn max_junction_temperature(&self, temps: &[f64]) -> Celsius {
+        let mut max = f64::NEG_INFINITY;
+        for t in 0..self.layout.tier_count() {
+            let off = self.layout.tier_offsets[t];
+            for i in 0..self.layout.cells_per_layer() {
+                max = max.max(temps[off + i]);
+            }
+        }
+        Celsius::new(max)
+    }
+
+    /// Temperature of a specific tier cell.
+    pub fn cell_temperature(&self, temps: &[f64], tier: usize, row: usize, col: usize) -> Celsius {
+        Celsius::new(temps[self.layout.tier_node(tier, row, col)])
+    }
+
+    /// Total power crossing the model boundary (into ambient/coolant) for
+    /// a given state — equals injected power at steady state.
+    pub fn boundary_outflow(&self, temps: &[f64]) -> Watts {
+        let mut q = 0.0;
+        for &(node, g, tb) in &self.boundary_links {
+            q += g * (temps[node] - tb);
+        }
+        Watts::new(q)
+    }
+
+    fn ensure_be_matrix(&mut self, h: f64) {
+        let key = h.to_bits();
+        if matches!(&self.be_cache, Some((k, _)) if *k == key) {
+            return;
+        }
+        let n = self.layout.node_count;
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, self.cap[i] / h);
+            for (j, v) in self.g.row(i) {
+                b.add(i, j, v);
+            }
+        }
+        self.be_cache = Some((key, b.build()));
+    }
+}

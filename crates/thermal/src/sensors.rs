@@ -1,0 +1,217 @@
+//! Per-block temperature extraction and the thermal-sensor model.
+//!
+//! The paper assumes one thermal sensor per core delivering readings every
+//! 100 ms (Sec. V). [`BlockTemperatures`] aggregates grid-cell temperatures
+//! to block granularity; [`SensorNoise`] optionally perturbs readings with
+//! seeded Gaussian noise to stress the controller.
+
+use vfc_floorplan::Stack3d;
+use vfc_units::Celsius;
+
+use crate::ThermalModel;
+
+/// Block-granularity view of one temperature state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTemperatures {
+    /// `max[tier][block]` — hottest cell of each block.
+    max: Vec<Vec<f64>>,
+    /// `mean[tier][block]` — area-weighted mean of each block.
+    mean: Vec<Vec<f64>>,
+}
+
+impl BlockTemperatures {
+    /// Extracts block temperatures from a node state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps.len()` differs from the model's node count.
+    pub fn extract(model: &ThermalModel, temps: &[f64]) -> Self {
+        let layout = model.layout();
+        assert_eq!(temps.len(), layout.node_count(), "state length");
+        let cells = layout.cells_per_layer();
+        let mut max = Vec::with_capacity(layout.tier_count());
+        let mut mean = Vec::with_capacity(layout.tier_count());
+        for t in 0..layout.tier_count() {
+            let blocks = layout.tier_block_cell_counts[t].len();
+            let mut bmax = vec![f64::NEG_INFINITY; blocks];
+            let mut bsum = vec![0.0; blocks];
+            let off = layout.tier_offsets[t];
+            for flat in 0..cells {
+                let b = layout.tier_cell_block[t][flat];
+                let v = temps[off + flat];
+                if v > bmax[b] {
+                    bmax[b] = v;
+                }
+                bsum[b] += v;
+            }
+            for b in 0..blocks {
+                let n = layout.tier_block_cell_counts[t][b];
+                bsum[b] = if n > 0 { bsum[b] / n as f64 } else { f64::NAN };
+            }
+            max.push(bmax);
+            mean.push(bsum);
+        }
+        Self { max, mean }
+    }
+
+    /// Hottest cell of a block.
+    pub fn block_max(&self, tier: usize, block: usize) -> Celsius {
+        Celsius::new(self.max[tier][block])
+    }
+
+    /// Mean temperature of a block.
+    pub fn block_mean(&self, tier: usize, block: usize) -> Celsius {
+        Celsius::new(self.mean[tier][block])
+    }
+
+    /// Maximum temperature of the cores across the stack, in
+    /// `(tier, block)` order — the controller's `Tmax` input.
+    pub fn core_max_temperatures(&self, stack: &Stack3d) -> Vec<Celsius> {
+        let mut out = Vec::new();
+        for (t, tier) in stack.tiers().iter().enumerate() {
+            for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
+                if blk.is_core() {
+                    out.push(self.block_max(t, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum over every block in the stack (units, not just cores) —
+    /// the quantity whose spatial spread Fig. 7 reports.
+    pub fn overall_max(&self) -> Celsius {
+        let m = self
+            .max
+            .iter()
+            .flat_map(|t| t.iter().copied())
+            .fold(f64::NEG_INFINITY, f64::max);
+        Celsius::new(m)
+    }
+
+    /// Largest block-to-block temperature difference (spatial gradient,
+    /// Fig. 7's metric).
+    pub fn max_spatial_gradient(&self) -> vfc_units::TemperatureDelta {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in self.max.iter().flat_map(|t| t.iter().copied()) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        vfc_units::TemperatureDelta::new(hi - lo)
+    }
+}
+
+/// Seeded Gaussian sensor noise (Box–Muller over a 64-bit LCG so the
+/// substrate stays dependency-free).
+#[derive(Debug, Clone)]
+pub struct SensorNoise {
+    sigma: f64,
+    state: u64,
+}
+
+impl SensorNoise {
+    /// Creates a noise source with the given standard deviation.
+    pub fn new(sigma: vfc_units::TemperatureDelta, seed: u64) -> Self {
+        Self {
+            sigma: sigma.value(),
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A reading of `truth` perturbed by Gaussian noise.
+    pub fn read(&mut self, truth: Celsius) -> Celsius {
+        if self.sigma == 0.0 {
+            return truth;
+        }
+        let u1 = self.next_unit().max(1e-12);
+        let u2 = self.next_unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        Celsius::new(truth.value() + self.sigma * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StackThermalBuilder, ThermalConfig};
+    use vfc_floorplan::{ultrasparc, GridSpec};
+    use vfc_units::{Length, TemperatureDelta, VolumetricFlow, Watts};
+
+    fn model_and_temps() -> (ThermalModel, Vec<f64>, Stack3d) {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid = GridSpec::from_cell_size(
+            stack.tiers()[0].floorplan(),
+            Length::from_millimeters(1.0),
+        );
+        let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
+            .build(Some(VolumetricFlow::from_ml_per_minute(400.0)))
+            .unwrap();
+        let p = model.uniform_block_power(&stack, |b| {
+            if b.is_core() {
+                Watts::new(3.0)
+            } else {
+                Watts::ZERO
+            }
+        });
+        let t = model.steady_state(&p, None).unwrap();
+        (model, t, stack)
+    }
+
+    #[test]
+    fn block_extraction_matches_model_max() {
+        let (model, temps, stack) = model_and_temps();
+        let bt = BlockTemperatures::extract(&model, &temps);
+        let cores = bt.core_max_temperatures(&stack);
+        assert_eq!(cores.len(), 8);
+        let hottest_core = cores.iter().map(|c| c.value()).fold(f64::MIN, f64::max);
+        // With only cores powered, the global junction max is on a core.
+        assert!(
+            (hottest_core - model.max_junction_temperature(&temps).value()).abs() < 1e-9
+        );
+        assert!(bt.overall_max().value() >= hottest_core);
+    }
+
+    #[test]
+    fn powered_cores_are_hotter_than_idle_cache() {
+        let (model, temps, _stack) = model_and_temps();
+        let bt = BlockTemperatures::extract(&model, &temps);
+        // Tier 0 block 0 is core0; tier 1 block 0 is l2_0.
+        assert!(bt.block_max(0, 0).value() > bt.block_max(1, 0).value());
+        assert!(bt.max_spatial_gradient().value() > 0.1);
+        assert!(bt.block_mean(0, 0).value() <= bt.block_max(0, 0).value());
+    }
+
+    #[test]
+    fn sensor_noise_is_seeded_and_unbiased() {
+        let mut a = SensorNoise::new(TemperatureDelta::new(0.5), 42);
+        let mut b = SensorNoise::new(TemperatureDelta::new(0.5), 42);
+        let truth = Celsius::new(80.0);
+        assert_eq!(a.read(truth), b.read(truth));
+
+        let mut n = SensorNoise::new(TemperatureDelta::new(0.5), 7);
+        let mean: f64 =
+            (0..4000).map(|_| n.read(truth).value()).sum::<f64>() / 4000.0;
+        assert!((mean - 80.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let mut n = SensorNoise::new(TemperatureDelta::ZERO, 1);
+        assert_eq!(n.read(Celsius::new(72.5)), Celsius::new(72.5));
+    }
+}

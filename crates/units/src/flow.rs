@@ -1,0 +1,112 @@
+//! Coolant flow quantities.
+
+use crate::{linear_ops, quantity};
+
+quantity!(
+    /// Volumetric flow rate in m³/s.
+    ///
+    /// The paper quotes pump flow in liters/hour (Fig. 3 x-axis) and
+    /// per-cavity flow in ml/min (Fig. 3/5 y-axes, Table I); dedicated
+    /// constructors and accessors are provided for both.
+    VolumetricFlow,
+    "m³/s"
+);
+linear_ops!(VolumetricFlow);
+
+quantity!(
+    /// Mass flow rate in kg/s.
+    MassFlow,
+    "kg/s"
+);
+linear_ops!(MassFlow);
+
+impl VolumetricFlow {
+    /// Creates a flow rate from liters per minute.
+    #[inline]
+    pub fn from_liters_per_minute(lpm: f64) -> Self {
+        Self::new(lpm * 1e-3 / 60.0)
+    }
+
+    /// Creates a flow rate from milliliters per minute.
+    #[inline]
+    pub fn from_ml_per_minute(mlpm: f64) -> Self {
+        Self::new(mlpm * 1e-6 / 60.0)
+    }
+
+    /// Creates a flow rate from liters per hour (pump datasheet unit).
+    #[inline]
+    pub fn from_liters_per_hour(lph: f64) -> Self {
+        Self::new(lph * 1e-3 / 3600.0)
+    }
+
+    /// Converts to liters per minute.
+    #[inline]
+    pub fn to_liters_per_minute(self) -> f64 {
+        self.value() * 60.0 * 1e3
+    }
+
+    /// Converts to milliliters per minute.
+    #[inline]
+    pub fn to_ml_per_minute(self) -> f64 {
+        self.value() * 60.0 * 1e6
+    }
+
+    /// Converts to liters per hour.
+    #[inline]
+    pub fn to_liters_per_hour(self) -> f64 {
+        self.value() * 3600.0 * 1e3
+    }
+
+    /// Mass flow for a fluid of the given density (kg/m³).
+    #[inline]
+    pub fn to_mass_flow(self, density_kg_per_m3: f64) -> MassFlow {
+        MassFlow::new(self.value() * density_kg_per_m3)
+    }
+}
+
+impl MassFlow {
+    /// Thermal capacity rate `ṁ·c_p` in W/K for the given specific heat
+    /// (J/(kg·K)). This is the denominator of the paper's Eq. 5.
+    #[inline]
+    pub fn capacity_rate(self, cp_j_per_kg_k: f64) -> crate::ThermalConductance {
+        crate::ThermalConductance::new(self.value() * cp_j_per_kg_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_conversions_match_paper_axes() {
+        // Fig. 3: 375 l/h pump flow; after 50% loss and 3 cavities this is
+        // ~1042 ml/min per cavity — Table I's upper bound of ~1 l/min.
+        let pump = VolumetricFlow::from_liters_per_hour(375.0);
+        let per_cavity = pump * 0.5 / 3.0;
+        assert!((per_cavity.to_ml_per_minute() - 1041.666).abs() < 0.01);
+        assert!((per_cavity.to_liters_per_minute() - 1.0416).abs() < 1e-3);
+    }
+
+    #[test]
+    fn capacity_rate_matches_eq5() {
+        // 1 l/min of water: rho=998, cp=4183 => m*cp = 69.58 W/K.
+        let v = VolumetricFlow::from_liters_per_minute(1.0);
+        let g = v.to_mass_flow(998.0).capacity_rate(4183.0);
+        assert!((g.value() - 69.58).abs() < 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn lpm_roundtrip(v in 0.0f64..100.0) {
+            let f = VolumetricFlow::from_liters_per_minute(v);
+            prop_assert!((f.to_liters_per_minute() - v).abs() < 1e-9 * v.max(1.0));
+        }
+
+        #[test]
+        fn lph_mlpm_consistent(v in 0.0f64..1000.0) {
+            let f = VolumetricFlow::from_liters_per_hour(v);
+            prop_assert!((f.to_ml_per_minute() - v * 1000.0 / 60.0).abs() < 1e-6 * v.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Temperature quantities: absolute Celsius/Kelvin and temperature deltas.
+
+use crate::{linear_ops, quantity};
+
+quantity!(
+    /// Absolute temperature in degrees Celsius.
+    ///
+    /// This is the working unit of the simulator (the paper reports all
+    /// temperatures in °C). Convert to [`Kelvin`] for physics that needs an
+    /// absolute scale.
+    Celsius,
+    "°C"
+);
+
+quantity!(
+    /// Absolute temperature in Kelvin.
+    Kelvin,
+    "K"
+);
+
+quantity!(
+    /// A temperature difference in Kelvin (identical magnitude in °C).
+    ///
+    /// Deltas form an additive group; absolute temperatures do not
+    /// (adding two absolute temperatures is meaningless), which is why
+    /// [`Celsius`] only supports `Celsius ± TemperatureDelta`.
+    TemperatureDelta,
+    "K"
+);
+
+linear_ops!(TemperatureDelta);
+
+/// Offset between the Celsius and Kelvin scales.
+pub(crate) const KELVIN_OFFSET: f64 = 273.15;
+
+impl Celsius {
+    /// Converts to Kelvin.
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin::new(self.value() + KELVIN_OFFSET)
+    }
+
+    /// Signed difference `self - other` as a delta.
+    #[inline]
+    pub fn delta_from(self, other: Celsius) -> TemperatureDelta {
+        TemperatureDelta::new(self.value() - other.value())
+    }
+}
+
+impl Kelvin {
+    /// Converts to Celsius.
+    #[inline]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius::new(self.value() - KELVIN_OFFSET)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Self {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Self {
+        k.to_celsius()
+    }
+}
+
+impl core::ops::Add<TemperatureDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn add(self, rhs: TemperatureDelta) -> Celsius {
+        Celsius::new(self.value() + rhs.value())
+    }
+}
+
+impl core::ops::Sub<TemperatureDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn sub(self, rhs: TemperatureDelta) -> Celsius {
+        Celsius::new(self.value() - rhs.value())
+    }
+}
+
+impl core::ops::Sub for Celsius {
+    type Output = TemperatureDelta;
+    #[inline]
+    fn sub(self, rhs: Celsius) -> TemperatureDelta {
+        self.delta_from(rhs)
+    }
+}
+
+impl core::ops::Add<TemperatureDelta> for Kelvin {
+    type Output = Kelvin;
+    #[inline]
+    fn add(self, rhs: TemperatureDelta) -> Kelvin {
+        Kelvin::new(self.value() + rhs.value())
+    }
+}
+
+impl core::ops::Sub for Kelvin {
+    type Output = TemperatureDelta;
+    #[inline]
+    fn sub(self, rhs: Kelvin) -> TemperatureDelta {
+        TemperatureDelta::new(self.value() - rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn celsius_kelvin_roundtrip() {
+        let t = Celsius::new(80.0);
+        assert_eq!(t.to_kelvin().value(), 353.15);
+        assert_eq!(t.to_kelvin().to_celsius(), t);
+        assert_eq!(Kelvin::from(t).to_celsius(), Celsius::from(Kelvin::new(353.15)));
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = Celsius::new(85.0);
+        let b = Celsius::new(80.0);
+        let d = a - b;
+        assert_eq!(d, TemperatureDelta::new(5.0));
+        assert_eq!(b + d, a);
+        assert_eq!(a - d, b);
+        assert_eq!(d + d, TemperatureDelta::new(10.0));
+        assert_eq!(-d, TemperatureDelta::new(-5.0));
+    }
+
+    #[test]
+    fn kelvin_delta() {
+        let a = Kelvin::new(300.0);
+        let d = TemperatureDelta::new(10.0);
+        assert_eq!((a + d).value(), 310.0);
+        assert_eq!(Kelvin::new(310.0) - a, d);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_is_lossless(v in -200.0f64..500.0) {
+            let c = Celsius::new(v);
+            prop_assert!((c.to_kelvin().to_celsius().value() - v).abs() < 1e-9);
+        }
+
+        #[test]
+        fn delta_consistency(a in -50.0f64..150.0, b in -50.0f64..150.0) {
+            let (ca, cb) = (Celsius::new(a), Celsius::new(b));
+            let d = ca - cb;
+            prop_assert!(((cb + d).value() - ca.value()).abs() < 1e-9);
+            // Deltas agree across scales.
+            let dk = ca.to_kelvin() - cb.to_kelvin();
+            prop_assert!((dk.value() - d.value()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Time quantities.
+
+use crate::{linear_ops, quantity};
+
+quantity!(
+    /// Time in seconds. The simulator's native tick is 1 ms and the
+    /// thermal/control sampling interval is 100 ms; use
+    /// [`Seconds::from_millis`] for those.
+    Seconds,
+    "s"
+);
+linear_ops!(Seconds);
+
+impl Seconds {
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1e-3)
+    }
+
+    /// Converts to milliseconds.
+    #[inline]
+    pub fn to_millis(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Integer number of whole steps of length `step` that fit in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    #[inline]
+    pub fn steps_of(self, step: Seconds) -> usize {
+        assert!(step.value() > 0.0, "step must be positive");
+        (self.value() / step.value()).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millis_roundtrip() {
+        let t = Seconds::from_millis(100.0);
+        assert_eq!(t.value(), 0.1);
+        assert_eq!(t.to_millis(), 100.0);
+    }
+
+    #[test]
+    fn steps() {
+        // 60 s of simulation at the paper's 100 ms sampling = 600 samples.
+        assert_eq!(Seconds::new(60.0).steps_of(Seconds::from_millis(100.0)), 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = Seconds::new(1.0).steps_of(Seconds::ZERO);
+    }
+}

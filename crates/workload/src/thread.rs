@@ -1,0 +1,90 @@
+//! The short-thread execution unit scheduled onto cores.
+
+use vfc_units::Seconds;
+
+/// One schedulable thread: a burst of continuous execution (the paper
+/// reports T1 thread lengths of "a few to several hundred milliseconds").
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThreadSpec {
+    id: u64,
+    total: f64,
+    remaining: f64,
+}
+
+impl ThreadSpec {
+    /// Creates a thread with the given execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is not strictly positive.
+    pub fn new(id: u64, duration: Seconds) -> Self {
+        assert!(duration.value() > 0.0, "thread duration must be positive");
+        Self {
+            id,
+            total: duration.value(),
+            remaining: duration.value(),
+        }
+    }
+
+    /// Unique thread id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Original execution time.
+    pub fn total(&self) -> Seconds {
+        Seconds::new(self.total)
+    }
+
+    /// Remaining execution time.
+    pub fn remaining(&self) -> Seconds {
+        Seconds::new(self.remaining)
+    }
+
+    /// Whether the thread has finished.
+    pub fn is_complete(&self) -> bool {
+        self.remaining <= 0.0
+    }
+
+    /// Executes for up to `dt`; returns the time actually consumed.
+    pub fn run(&mut self, dt: Seconds) -> Seconds {
+        let used = dt.value().min(self.remaining);
+        self.remaining -= used;
+        Seconds::new(used)
+    }
+
+    /// Adds a migration/stall penalty to the remaining time (used by the
+    /// reactive-migration policy to model its performance overhead).
+    pub fn add_penalty(&mut self, penalty: Seconds) {
+        self.remaining += penalty.value().max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_to_completion() {
+        let mut t = ThreadSpec::new(1, Seconds::from_millis(3.0));
+        assert!(!t.is_complete());
+        assert_eq!(t.run(Seconds::from_millis(1.0)).to_millis(), 1.0);
+        assert_eq!(t.run(Seconds::from_millis(5.0)).to_millis(), 2.0);
+        assert!(t.is_complete());
+        assert_eq!(t.run(Seconds::from_millis(1.0)), Seconds::ZERO);
+    }
+
+    #[test]
+    fn penalty_extends_execution() {
+        let mut t = ThreadSpec::new(2, Seconds::from_millis(10.0));
+        t.add_penalty(Seconds::from_millis(5.0));
+        assert_eq!(t.remaining().to_millis(), 15.0);
+        assert_eq!(t.total().to_millis(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_rejected() {
+        let _ = ThreadSpec::new(0, Seconds::ZERO);
+    }
+}

@@ -1,0 +1,44 @@
+//! Compare all seven policy/cooling combinations of the paper's Fig. 6
+//! on one workload, printing a table in the figure's legend order.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison [workload]
+//! ```
+//!
+//! `workload` defaults to `Web-med`; any Table II name works
+//! (Web-med, Web-high, Database, Web&DB, gcc, gzip, MPlayer, MPlayer&Web).
+
+use vfc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Web-med".into());
+    let bench = Benchmark::by_name(&name)
+        .ok_or_else(|| format!("unknown Table II workload `{name}`"))?;
+    println!("workload: {bench}\n");
+    println!(
+        "{:<12} {:>7} {:>7} {:>9} {:>9} {:>10} {:>10} {:>8} {:>6}",
+        "policy", "mean C", "peak C", ">85C %", "grad15 %", "chip J", "pump J", "thr/s", "mig"
+    );
+
+    let mut baseline_throughput = None;
+    for (policy, cooling) in vfc::paper_policy_matrix() {
+        let r = Experiment::new(SystemKind::TwoLayer, cooling, policy, bench)
+            .duration(Seconds::new(30.0))
+            .run()?;
+        let base = *baseline_throughput.get_or_insert(r.throughput);
+        println!(
+            "{:<12} {:>7.1} {:>7.1} {:>9.1} {:>9.1} {:>10.0} {:>10.0} {:>8.3} {:>6}",
+            r.label,
+            r.mean_temperature.value(),
+            r.max_temperature.value(),
+            r.hot_spot_pct,
+            r.gradient_pct,
+            r.chip_energy.value(),
+            r.pump_energy.value(),
+            if base > 0.0 { r.throughput / base } else { 1.0 },
+            r.migrations,
+        );
+    }
+    println!("\n(thr/s is normalized to LB (Air), as in the paper's Fig. 8)");
+    Ok(())
+}

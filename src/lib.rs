@@ -1,0 +1,8 @@
+//! Workspace-level facade for the `vfc` reproduction.
+//!
+//! This package only hosts the repository's `examples/` and cross-crate
+//! integration `tests/`; all functionality lives in the `vfc` facade crate
+//! and the substrate crates under `crates/`. It re-exports [`vfc`] so that
+//! examples and tests can use a single import root.
+
+pub use vfc::*;

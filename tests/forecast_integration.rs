@@ -1,0 +1,74 @@
+//! Forecaster behaviour inside full simulations: accuracy and
+//! SPRT-triggered reconstruction on workload changes.
+
+use vfc::prelude::*;
+use vfc::workload::Benchmark;
+
+#[test]
+fn in_sim_forecast_error_is_below_one_degree() {
+    // The paper: "the prediction is highly accurate (well below 1 C)".
+    let cfg = SimConfig::new(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        Benchmark::by_name("Database").unwrap(),
+    )
+    .with_duration(Seconds::new(20.0))
+    .with_grid_cell(Length::from_millimeters(2.0));
+    let r = Simulation::new(cfg).unwrap().run().unwrap();
+    let mae = r.forecast_mae.expect("variable-flow runs forecast");
+    assert!(mae < 1.0, "one-step MAE {mae:.3} C should be below 1 C");
+}
+
+#[test]
+fn diurnal_phase_changes_trigger_predictor_reconstruction() {
+    let day = Benchmark::by_name("Web-med").unwrap();
+    let night = Benchmark::by_name("gzip").unwrap();
+    let cfg = SimConfig::with_workload(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        PhasedWorkload::diurnal(day, night, Seconds::new(10.0)),
+    )
+    .with_duration(Seconds::new(40.0))
+    .with_grid_cell(Length::from_millimeters(2.0));
+    let r = Simulation::new(cfg).unwrap().run().unwrap();
+    // Initial fit + at least one SPRT-triggered refit across 3 phase
+    // boundaries.
+    assert!(
+        r.predictor_refits >= 2,
+        "expected SPRT reconstructions across phase changes, got {}",
+        r.predictor_refits
+    );
+    // The controller must have tracked the demand down and up.
+    assert!(r.controller_switches >= 2);
+    // Phase steps are instantaneous (harsher than real diurnal drift):
+    // transients must stay bounded even so.
+    assert!(
+        r.max_temperature.value() < 87.0,
+        "peak {} across phase steps",
+        r.max_temperature
+    );
+    assert!(r.hot_spot_pct < 5.0, "{:.2}%", r.hot_spot_pct);
+}
+
+#[test]
+fn steady_workload_needs_few_refits() {
+    let cfg = SimConfig::new(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        Benchmark::by_name("gzip").unwrap(),
+    )
+    .with_duration(Seconds::new(20.0))
+    .with_grid_cell(Length::from_millimeters(2.0));
+    let r = Simulation::new(cfg).unwrap().run().unwrap();
+    // "As the maximum temperature profile changes slowly, we need to
+    // update the ARMA predictor very infrequently."
+    assert!(
+        r.predictor_refits <= 8,
+        "steady gzip should not thrash the predictor: {} refits in {} samples",
+        r.predictor_refits,
+        r.samples
+    );
+}

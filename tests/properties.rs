@@ -1,0 +1,96 @@
+//! Property-based integration tests: short randomized simulations must
+//! always produce physically sane reports.
+
+use proptest::prelude::*;
+use vfc::prelude::*;
+use vfc::workload::Benchmark;
+
+fn arbitrary_cooling() -> impl Strategy<Value = CoolingKind> {
+    prop_oneof![
+        Just(CoolingKind::Air),
+        Just(CoolingKind::LiquidMax),
+        Just(CoolingKind::LiquidVariable),
+        (0usize..5).prop_map(|i| CoolingKind::LiquidFixed(FlowSetting::from_index(i))),
+    ]
+}
+
+fn arbitrary_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::LoadBalancing),
+        Just(PolicyKind::ReactiveMigration),
+        Just(PolicyKind::Talb),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn simulations_are_physically_sane(
+        cooling in arbitrary_cooling(),
+        policy in arbitrary_policy(),
+        bench_idx in 0usize..8,
+        seed in 0u64..1000,
+        dpm in any::<bool>(),
+    ) {
+        let bench = Benchmark::table_ii()[bench_idx];
+        let cfg = SimConfig::new(SystemKind::TwoLayer, cooling, policy, bench)
+            .with_duration(Seconds::new(3.0))
+            .with_grid_cell(Length::from_millimeters(2.0))
+            .with_seed(seed)
+            .with_dpm(dpm);
+        let r = Simulation::new(cfg).unwrap().run().unwrap();
+
+        // Temperatures stay physical: above the coolant/ambient floor,
+        // below silicon-killing levels.
+        prop_assert!(r.mean_temperature.value() > 40.0, "mean {}", r.mean_temperature);
+        prop_assert!(r.max_temperature.value() < 130.0, "peak {}", r.max_temperature);
+        prop_assert!(r.mean_temperature <= r.max_temperature);
+
+        // Energy accounting is non-negative and consistent.
+        prop_assert!(r.chip_energy.value() > 0.0);
+        prop_assert!(r.pump_energy.value() >= 0.0);
+        prop_assert!((r.total_energy().value()
+            - r.chip_energy.value() - r.pump_energy.value()).abs() < 1e-9);
+        if cooling == CoolingKind::Air {
+            prop_assert_eq!(r.pump_energy.value(), 0.0);
+        }
+
+        // Metric percentages are percentages.
+        for pct in [r.hot_spot_pct, r.gradient_pct, r.above_target_pct] {
+            prop_assert!((0.0..=100.0).contains(&pct), "{pct}");
+        }
+        prop_assert!(r.cycle_pct >= 0.0);
+
+        // Scheduler accounting.
+        prop_assert!(r.throughput >= 0.0);
+        if policy != PolicyKind::ReactiveMigration {
+            prop_assert_eq!(r.migrations, 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic(seed in 0u64..100) {
+        let mk = || {
+            let cfg = SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidVariable,
+                PolicyKind::Talb,
+                Benchmark::by_name("Web-med").unwrap(),
+            )
+            .with_duration(Seconds::new(2.0))
+            .with_grid_cell(Length::from_millimeters(2.0))
+            .with_seed(seed);
+            Simulation::new(cfg).unwrap().run().unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.completed_threads, b.completed_threads);
+        prop_assert_eq!(a.chip_energy, b.chip_energy);
+        prop_assert_eq!(a.max_temperature, b.max_temperature);
+        prop_assert_eq!(a.controller_switches, b.controller_switches);
+    }
+}

@@ -28,11 +28,8 @@ fn lut_lookup(c: &mut Criterion) {
 
 fn controller_step(c: &mut Criterion) {
     let pump = Pump::laing_ddc();
-    let mut ctrl = FlowController::with_hysteresis(
-        synthetic_lut(5),
-        &pump,
-        TemperatureDelta::new(2.0),
-    );
+    let mut ctrl =
+        FlowController::with_hysteresis(synthetic_lut(5), &pump, TemperatureDelta::new(2.0));
     c.bench_function("controller_step_100ms", |b| {
         let mut t = 60.0;
         b.iter(|| {

@@ -52,5 +52,11 @@ fn predictor_observe(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, arma_fit, arma_forecast, sprt_update, predictor_observe);
+criterion_group!(
+    benches,
+    arma_fit,
+    arma_forecast,
+    sprt_update,
+    predictor_observe
+);
 criterion_main!(benches);

@@ -65,14 +65,17 @@ fn transient_step(c: &mut Criterion) {
             }
         });
         let steady = model.steady_state(&p, None).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(format!("{cell_mm}mm")), |bench| {
-            let mut t = steady.clone();
-            bench.iter(|| {
-                model
-                    .step(&mut t, &p, Seconds::from_millis(100.0), 5)
-                    .unwrap();
-            });
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{cell_mm}mm")),
+            |bench| {
+                let mut t = steady.clone();
+                bench.iter(|| {
+                    model
+                        .step(&mut t, &p, Seconds::from_millis(100.0), 5)
+                        .unwrap();
+                });
+            },
+        );
     }
     group.finish();
 }

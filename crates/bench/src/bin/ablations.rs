@@ -77,7 +77,10 @@ fn hysteresis(duration: Seconds) {
             let r = Simulation::new(cfg).unwrap().run().unwrap();
             println!(
                 "{:<12} {:>11}C {:>10} {:>14.1} {:>12.0}",
-                bench, h, r.controller_switches, r.above_target_pct,
+                bench,
+                h,
+                r.controller_switches,
+                r.above_target_pct,
                 r.pump_energy.value(),
             );
         }
@@ -130,10 +133,8 @@ fn constant_h() {
     println!("=== ablation 4: Eq. 6-7 constant-h vs calibrated flow-scaled h ===");
     let pump = Pump::laing_ddc();
     let stack = ultrasparc::two_layer_liquid();
-    let grid = GridSpec::from_cell_size(
-        stack.tiers()[0].floorplan(),
-        Length::from_millimeters(1.0),
-    );
+    let grid =
+        GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
     for (label, convection) in [
         ("calibrated", ConvectionModel::calibrated()),
         ("paper-constant", ConvectionModel::paper_constant()),

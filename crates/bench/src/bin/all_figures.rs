@@ -19,13 +19,22 @@ fn main() {
         ("Fig. 1", figures::fig1()),
         ("Fig. 3", figures::fig3()),
         ("Fig. 5", figures::fig5()),
-        ("Fig. 6 (2-layer)", figures::fig6(SystemKind::TwoLayer, duration)),
+        (
+            "Fig. 6 (2-layer)",
+            figures::fig6(SystemKind::TwoLayer, duration),
+        ),
         (
             "Fig. 6 savings detail",
             figures::fig6_savings_detail(SystemKind::TwoLayer, duration),
         ),
-        ("Fig. 7 (2-layer)", figures::fig7(SystemKind::TwoLayer, duration)),
-        ("Fig. 8 (2-layer)", figures::fig8(SystemKind::TwoLayer, duration)),
+        (
+            "Fig. 7 (2-layer)",
+            figures::fig7(SystemKind::TwoLayer, duration),
+        ),
+        (
+            "Fig. 8 (2-layer)",
+            figures::fig8(SystemKind::TwoLayer, duration),
+        ),
     ] {
         println!("{sep}\n{name}\n{sep}");
         println!("{text}");

@@ -7,7 +7,10 @@ fn main() {
     let (duration, system) = vfc_bench_args();
     print!("{}", vfc_bench::figures::fig6(system, duration));
     println!();
-    print!("{}", vfc_bench::figures::fig6_savings_detail(system, duration));
+    print!(
+        "{}",
+        vfc_bench::figures::fig6_savings_detail(system, duration)
+    );
 }
 
 fn vfc_bench_args() -> (Seconds, SystemKind) {

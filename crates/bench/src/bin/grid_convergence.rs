@@ -26,17 +26,18 @@ fn main() {
     if fine {
         cells.push(0.1); // the paper's grid
     }
-    println!("Grid convergence, 2-layer liquid stack, setting 3 ({:.0} ml/min/cavity):", flow.to_ml_per_minute());
+    println!(
+        "Grid convergence, 2-layer liquid stack, setting 3 ({:.0} ml/min/cavity):",
+        flow.to_ml_per_minute()
+    );
     println!(
         "{:>9} {:>10} {:>10} {:>12} {:>10}",
         "cell mm", "nodes", "Tmax C", "dT vs prev", "solve ms"
     );
     let mut prev: Option<f64> = None;
     for cell in cells {
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(cell),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
         let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let model = builder.build(Some(flow)).expect("build");
         let p = model.uniform_block_power(&stack, |b| match b.kind() {

@@ -29,11 +29,31 @@ pub fn table1() -> String {
     let row = |s: &mut String, name: &str, paper: &str, ours: String| {
         let _ = writeln!(s, "{name:<34} {paper:>18} {ours:>18}");
     };
-    row(&mut s, "Rth-BEOL (K*mm^2/W)", "5.333", format!("{:.3}", beol.slab_area_resistance(12e-6) * 1e6));
+    row(
+        &mut s,
+        "Rth-BEOL (K*mm^2/W)",
+        "5.333",
+        format!("{:.3}", beol.slab_area_resistance(12e-6) * 1e6),
+    );
     row(&mut s, "tB (um)", "12", "12".into());
-    row(&mut s, "kBEOL (W/(m*K))", "2.25", format!("{}", beol.conductivity));
-    row(&mut s, "cp coolant (J/(kg*K))", "4183", format!("{}", w.specific_heat));
-    row(&mut s, "rho coolant (kg/m^3)", "998", format!("{}", w.density));
+    row(
+        &mut s,
+        "kBEOL (W/(m*K))",
+        "2.25",
+        format!("{}", beol.conductivity),
+    );
+    row(
+        &mut s,
+        "cp coolant (J/(kg*K))",
+        "4183",
+        format!("{}", w.specific_heat),
+    );
+    row(
+        &mut s,
+        "rho coolant (kg/m^3)",
+        "998",
+        format!("{}", w.density),
+    );
     let pump = Pump::laing_ddc();
     row(
         &mut s,
@@ -41,15 +61,42 @@ pub fn table1() -> String {
         "0.1-1",
         format!(
             "{:.2}-{:.2}",
-            pump.per_cavity_flow(FlowSetting::MIN, 3).to_liters_per_minute(),
-            pump.per_cavity_flow(pump.max_setting(), 3).to_liters_per_minute()
+            pump.per_cavity_flow(FlowSetting::MIN, 3)
+                .to_liters_per_minute(),
+            pump.per_cavity_flow(pump.max_setting(), 3)
+                .to_liters_per_minute()
         ),
     );
-    row(&mut s, "h (W/(m^2*K))", "37132", format!("{} (paper-constant mode)", ConvectionModel::PAPER_H));
-    row(&mut s, "wc (um)", "50", format!("{:.0}", g.width().to_micrometers()));
-    row(&mut s, "tc (um)", "100", format!("{:.0}", g.height().to_micrometers()));
-    row(&mut s, "ts (um)", "50", format!("{:.0}", g.wall().to_micrometers()));
-    row(&mut s, "p (um)", "100", format!("{:.1} (65 channels over 10 mm)", g.pitch().to_micrometers()));
+    row(
+        &mut s,
+        "h (W/(m^2*K))",
+        "37132",
+        format!("{} (paper-constant mode)", ConvectionModel::PAPER_H),
+    );
+    row(
+        &mut s,
+        "wc (um)",
+        "50",
+        format!("{:.0}", g.width().to_micrometers()),
+    );
+    row(
+        &mut s,
+        "tc (um)",
+        "100",
+        format!("{:.0}", g.height().to_micrometers()),
+    );
+    row(
+        &mut s,
+        "ts (um)",
+        "50",
+        format!("{:.0}", g.wall().to_micrometers()),
+    );
+    row(
+        &mut s,
+        "p (um)",
+        "100",
+        format!("{:.1} (65 channels over 10 mm)", g.pitch().to_micrometers()),
+    );
     let _ = writeln!(
         s,
         "\nnote: experiments use the calibrated flow-scaled h_eff (DESIGN.md 4.3);"
@@ -66,7 +113,10 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     use vfc::workload::WorkloadGenerator;
     let mut s = String::new();
-    let _ = writeln!(s, "Table II — workload characteristics (paper values) and generator calibration");
+    let _ = writeln!(
+        s,
+        "Table II — workload characteristics (paper values) and generator calibration"
+    );
     let _ = writeln!(
         s,
         "{:<12} {:>9} {:>9} {:>9} {:>9} {:>12} {:>9}",
@@ -108,22 +158,87 @@ pub fn table3() -> String {
     let row = |s: &mut String, name: &str, paper: &str, ours: String| {
         let _ = writeln!(s, "{name:<44} {paper:>10} {ours:>12}");
     };
-    row(&mut s, "die thickness, one stack (mm)", "0.15", format!("{}", ultrasparc::SI_THICKNESS_MM));
-    row(&mut s, "area per core (mm^2)", "10", format!("{:.1}", core.blocks_of_kind(BlockKind::Core).next().unwrap().rect().area().to_mm2()));
-    row(&mut s, "area per L2 (mm^2)", "19", format!("{:.1}", ultrasparc::cache_floorplan().blocks_of_kind(BlockKind::L2Cache).next().unwrap().rect().area().to_mm2()));
-    row(&mut s, "total area per layer (mm^2)", "115", format!("{:.1}", core.area().to_mm2()));
-    row(&mut s, "convection capacitance (J/K)", "140", format!("{:.0}", cfg.air.sink_capacitance.value()));
-    row(&mut s, "convection resistance (K/W)", "0.1", format!("{}", cfg.air.sink_resistance.value()));
-    row(&mut s, "interlayer thickness (mm)", "0.02", format!("{}", ultrasparc::BOND_THICKNESS_MM));
-    row(&mut s, "interlayer thickness w/ channels (mm)", "0.4", format!("{}", ultrasparc::CAVITY_HEIGHT_MM));
-    row(&mut s, "interlayer resistivity, no TSV (mK/W)", "0.25", format!("{}", 1.0 / material::BOND.conductivity));
+    row(
+        &mut s,
+        "die thickness, one stack (mm)",
+        "0.15",
+        format!("{}", ultrasparc::SI_THICKNESS_MM),
+    );
+    row(
+        &mut s,
+        "area per core (mm^2)",
+        "10",
+        format!(
+            "{:.1}",
+            core.blocks_of_kind(BlockKind::Core)
+                .next()
+                .unwrap()
+                .rect()
+                .area()
+                .to_mm2()
+        ),
+    );
+    row(
+        &mut s,
+        "area per L2 (mm^2)",
+        "19",
+        format!(
+            "{:.1}",
+            ultrasparc::cache_floorplan()
+                .blocks_of_kind(BlockKind::L2Cache)
+                .next()
+                .unwrap()
+                .rect()
+                .area()
+                .to_mm2()
+        ),
+    );
+    row(
+        &mut s,
+        "total area per layer (mm^2)",
+        "115",
+        format!("{:.1}", core.area().to_mm2()),
+    );
+    row(
+        &mut s,
+        "convection capacitance (J/K)",
+        "140",
+        format!("{:.0}", cfg.air.sink_capacitance.value()),
+    );
+    row(
+        &mut s,
+        "convection resistance (K/W)",
+        "0.1",
+        format!("{}", cfg.air.sink_resistance.value()),
+    );
+    row(
+        &mut s,
+        "interlayer thickness (mm)",
+        "0.02",
+        format!("{}", ultrasparc::BOND_THICKNESS_MM),
+    );
+    row(
+        &mut s,
+        "interlayer thickness w/ channels (mm)",
+        "0.4",
+        format!("{}", ultrasparc::CAVITY_HEIGHT_MM),
+    );
+    row(
+        &mut s,
+        "interlayer resistivity, no TSV (mK/W)",
+        "0.25",
+        format!("{}", 1.0 / material::BOND.conductivity),
+    );
     s
 }
 
 /// Fig. 1 — floorplans of the 3D systems (ASCII rendering).
 pub fn fig1() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 1 — floorplans (C=core, L=L2, X=crossbar/TSV, u=uncore, b=buffer)");
+    let _ = writeln!(
+        s,
+        "Fig. 1 — floorplans (C=core, L=L2, X=crossbar/TSV, u=uncore, b=buffer)"
+    );
     let _ = writeln!(s, "\ncore layer (8x 10mm^2 cores, 15mm^2 crossbar column):");
     s.push_str(&ultrasparc::core_floorplan().render_ascii(46, 20));
     let _ = writeln!(s, "\ncache layer (4x 19mm^2 L2 banks):");
@@ -147,7 +262,10 @@ pub fn fig1() -> String {
 pub fn fig3() -> String {
     let pump = Pump::laing_ddc();
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 3 — pump power and per-cavity flow rates (50% delivery loss)");
+    let _ = writeln!(
+        s,
+        "Fig. 3 — pump power and per-cavity flow rates (50% delivery loss)"
+    );
     let _ = writeln!(
         s,
         "{:>8} {:>14} {:>20} {:>20} {:>10} {:>16}",
@@ -204,15 +322,18 @@ pub fn fig5() -> String {
         ("2-layer", ultrasparc::two_layer_liquid(), 3usize),
         ("4-layer", ultrasparc::four_layer_liquid(), 5),
     ] {
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
         let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let stack_ref = &stack;
-        let c = characterize(&builder, &pump, cavities, Celsius::new(80.0), 11, &|d, m| {
-            demand_power(&power, &leakage, stack_ref, m, d)
-        })
+        let c = characterize(
+            &builder,
+            &pump,
+            cavities,
+            Celsius::new(80.0),
+            11,
+            &|d, m| demand_power(&power, &leakage, stack_ref, m, d),
+        )
         .expect("characterization");
         let _ = writeln!(s, "\n{label} ({} cavities):", cavities);
         let _ = writeln!(
@@ -282,8 +403,11 @@ fn aggregate(
     let per_policy: Vec<&[SimReport]> = reports.chunks(8).collect();
 
     // Baseline: LB (Air) — the first row, as in the paper.
-    let base_chip: f64 =
-        per_policy[0].iter().map(|r| r.chip_energy.value()).sum::<f64>() / 8.0;
+    let base_chip: f64 = per_policy[0]
+        .iter()
+        .map(|r| r.chip_energy.value())
+        .sum::<f64>()
+        / 8.0;
     let base_thr: Vec<f64> = per_policy[0].iter().map(|r| r.throughput).collect();
 
     matrix
@@ -349,8 +473,8 @@ pub fn fig6(system: SystemKind, duration: Seconds) -> String {
     let max_row = aggs.iter().find(|a| a.label == "TALB (Max)").unwrap();
     let var_row = aggs.iter().find(|a| a.label == "TALB (Var)").unwrap();
     let cooling_saving = 100.0 * (1.0 - var_row.pump / max_row.pump);
-    let total_saving = 100.0
-        * (1.0 - (var_row.chip + var_row.pump) / (max_row.chip + max_row.pump));
+    let total_saving =
+        100.0 * (1.0 - (var_row.chip + var_row.pump) / (max_row.chip + max_row.pump));
     let _ = writeln!(
         s,
         "\nTALB (Var) vs TALB (Max): {:.1}% avg cooling-energy reduction, {:.1}% avg total",
@@ -379,7 +503,11 @@ pub fn fig6_savings_detail(system: SystemKind, duration: Seconds) -> String {
     }
     let reports = run_batch(configs);
     let mut s = String::new();
-    let _ = writeln!(s, "Per-workload energy savings, TALB (Var) vs TALB (Max), {}:", system.label());
+    let _ = writeln!(
+        s,
+        "Per-workload energy savings, TALB (Var) vs TALB (Max), {}:",
+        system.label()
+    );
     let _ = writeln!(
         s,
         "{:<12} {:>12} {:>12} {:>14} {:>12} {:>12}",

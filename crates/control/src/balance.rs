@@ -165,10 +165,8 @@ mod tests {
 
     fn liquid_model() -> (ThermalModel, Stack3d) {
         let stack = ultrasparc::two_layer_liquid();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
         let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
             .build(Some(VolumetricFlow::from_ml_per_minute(400.0)))
             .unwrap();
@@ -177,10 +175,8 @@ mod tests {
 
     fn air_model() -> (ThermalModel, Stack3d) {
         let stack = ultrasparc::two_layer_air();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
         let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
             .build(None)
             .unwrap();
@@ -229,8 +225,7 @@ mod tests {
     fn symmetric_liquid_cores_get_similar_budgets() {
         let (model, stack) = liquid_model();
         let background = model.zero_power();
-        let powers =
-            balanced_core_powers(&model, &stack, &background, Celsius::new(75.0)).unwrap();
+        let powers = balanced_core_powers(&model, &stack, &background, Celsius::new(75.0)).unwrap();
         let mean = powers.iter().sum::<f64>() / powers.len() as f64;
         for p in &powers {
             assert!((p / mean - 1.0).abs() < 0.35, "powers {powers:?}");

@@ -170,10 +170,8 @@ mod tests {
 
     fn quick_characterization() -> Characterization {
         let stack = ultrasparc::two_layer_liquid();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.5),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.5));
         let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let pump = Pump::laing_ddc();
         let stack2 = ultrasparc::two_layer_liquid();
@@ -255,10 +253,8 @@ mod tests {
     #[test]
     fn empty_grid_rejected() {
         let stack = ultrasparc::two_layer_liquid();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(2.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(2.0));
         let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let pump = Pump::laing_ddc();
         let err = characterize(&builder, &pump, 3, Celsius::new(80.0), 1, &|_, m| {

@@ -189,15 +189,17 @@ mod tests {
         assert_eq!(c.switch_count(), 0);
         // 73.0 clears the 2 °C margin: down-switch begins.
         c.step(Celsius::new(73.0), ms(100.0));
-        assert_eq!(c.commanded_setting().index(), pump.max_setting().index() - 1);
+        assert_eq!(
+            c.commanded_setting().index(),
+            pump.max_setting().index() - 1
+        );
     }
 
     #[test]
     fn zero_hysteresis_oscillates_more() {
         let (lut, pump) = synthetic();
         let mut with = FlowController::new(lut.clone(), &pump);
-        let mut without =
-            FlowController::with_hysteresis(lut, &pump, TemperatureDelta::ZERO);
+        let mut without = FlowController::with_hysteresis(lut, &pump, TemperatureDelta::ZERO);
         // A forecast dithering around the 75.5 boundary.
         for i in 0..300 {
             let t = Celsius::new(75.5 + if i % 2 == 0 { 0.8 } else { -0.8 });

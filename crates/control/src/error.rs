@@ -27,7 +27,10 @@ impl core::fmt::Display for ControlError {
             ControlError::Thermal(e) => write!(f, "thermal model failed: {e}"),
             ControlError::Liquid(e) => write!(f, "pump model failed: {e}"),
             ControlError::EmptyDemandGrid => write!(f, "characterization needs demand points"),
-            ControlError::SettingCountMismatch { characterized, pump } => write!(
+            ControlError::SettingCountMismatch {
+                characterized,
+                pump,
+            } => write!(
                 f,
                 "characterization has {characterized} settings, pump has {pump}"
             ),

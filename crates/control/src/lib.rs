@@ -25,8 +25,8 @@ mod controller;
 mod error;
 mod lut;
 
-pub use balance::balanced_power_rows;
-pub use characterize::{characterize, Characterization};
-pub use controller::FlowController;
-pub use error::ControlError;
-pub use lut::FlowLut;
+pub use self::balance::balanced_power_rows;
+pub use self::characterize::{characterize, Characterization};
+pub use self::controller::FlowController;
+pub use self::error::ControlError;
+pub use self::lut::FlowLut;

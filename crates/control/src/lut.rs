@@ -30,10 +30,7 @@ impl FlowLut {
     ///
     /// [`ControlError::SettingCountMismatch`] if `pump` disagrees with
     /// the characterization.
-    pub fn from_characterization(
-        c: &Characterization,
-        pump: &Pump,
-    ) -> Result<Self, ControlError> {
+    pub fn from_characterization(c: &Characterization, pump: &Pump) -> Result<Self, ControlError> {
         if c.setting_count() != pump.setting_count() {
             return Err(ControlError::SettingCountMismatch {
                 characterized: c.setting_count(),
@@ -44,9 +41,7 @@ impl FlowLut {
         let mut boundary = vec![vec![0.0; n]; n];
         for s in 0..n {
             for s_prime in 0..n {
-                boundary[s][s_prime] = c
-                    .tmax_interp(c.capability(s_prime), s)
-                    .value();
+                boundary[s][s_prime] = c.tmax_interp(c.capability(s_prime), s).value();
             }
         }
         Ok(Self {
@@ -117,10 +112,8 @@ mod tests {
 
     fn lut_and_pump() -> (FlowLut, Pump) {
         let stack = ultrasparc::two_layer_liquid();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.5),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.5));
         let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let pump = Pump::laing_ddc();
         let stack2 = ultrasparc::two_layer_liquid();
@@ -193,10 +186,8 @@ mod tests {
             .build()
             .unwrap();
         let stack = ultrasparc::two_layer_liquid();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(2.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(2.0));
         let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let pump5 = Pump::laing_ddc();
         let stack2 = ultrasparc::two_layer_liquid();

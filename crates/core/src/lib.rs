@@ -67,7 +67,7 @@
 
 mod experiment;
 
-pub use experiment::{paper_policy_matrix, Experiment};
+pub use self::experiment::{paper_policy_matrix, Experiment};
 
 pub use vfc_control as control;
 pub use vfc_floorplan as floorplan;

@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let b = Block::new("xbar", BlockKind::Crossbar, Rect::from_mm(5.0, 0.0, 1.5, 10.0));
+        let b = Block::new(
+            "xbar",
+            BlockKind::Crossbar,
+            Rect::from_mm(5.0, 0.0, 1.5, 10.0),
+        );
         let s = b.to_string();
         assert!(s.contains("xbar"));
         assert!(s.contains("1.50x10.00"));

@@ -25,11 +25,7 @@ impl Floorplan {
     ///
     /// Returns a [`FloorplanError`] if any block is out of bounds, two
     /// blocks overlap or share a name, or the blocks do not tile the die.
-    pub fn new(
-        width: Length,
-        height: Length,
-        blocks: Vec<Block>,
-    ) -> Result<Self, FloorplanError> {
+    pub fn new(width: Length, height: Length, blocks: Vec<Block>) -> Result<Self, FloorplanError> {
         let outline = Rect::new(Length::ZERO, Length::ZERO, width, height);
         for b in &blocks {
             if !b.rect().within(&outline) {

@@ -92,7 +92,10 @@ impl GridSpec {
     ///
     /// Panics if the index is out of range.
     pub fn cell_center(&self, (row, col): CellIndex) -> (Length, Length) {
-        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
         (
             Length::new((col as f64 + 0.5) * self.cell_width().value()),
             Length::new((row as f64 + 0.5) * self.cell_height().value()),
@@ -106,7 +109,10 @@ impl GridSpec {
     /// Panics if the index is out of range.
     #[inline]
     pub fn flat_index(&self, (row, col): CellIndex) -> usize {
-        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
         row * self.cols + col
     }
 
@@ -152,7 +158,11 @@ mod tests {
             Length::from_millimeters(2.0),
             vec![
                 Block::new("left", BlockKind::Core, Rect::from_mm(0.0, 0.0, 2.0, 2.0)),
-                Block::new("right", BlockKind::L2Cache, Rect::from_mm(2.0, 0.0, 2.0, 2.0)),
+                Block::new(
+                    "right",
+                    BlockKind::L2Cache,
+                    Rect::from_mm(2.0, 0.0, 2.0, 2.0),
+                ),
             ],
         )
         .unwrap()

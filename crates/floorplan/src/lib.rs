@@ -43,9 +43,9 @@ mod rect;
 mod stack;
 pub mod ultrasparc;
 
-pub use block::{Block, BlockKind};
-pub use error::FloorplanError;
-pub use floorplan::Floorplan;
-pub use grid::{CellIndex, GridSpec};
-pub use rect::Rect;
-pub use stack::{Interface, Stack3d, StackBuilder, TierSpec, TsvField};
+pub use self::block::{Block, BlockKind};
+pub use self::error::FloorplanError;
+pub use self::floorplan::Floorplan;
+pub use self::grid::{CellIndex, GridSpec};
+pub use self::rect::Rect;
+pub use self::stack::{Interface, Stack3d, StackBuilder, TierSpec, TsvField};

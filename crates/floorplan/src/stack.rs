@@ -268,10 +268,7 @@ mod tests {
     #[test]
     fn interface_count_is_validated() {
         let err = StackBuilder::new().tier(ultrasparc::core_tier()).build();
-        assert!(matches!(
-            err,
-            Err(FloorplanError::MalformedStack { .. })
-        ));
+        assert!(matches!(err, Err(FloorplanError::MalformedStack { .. })));
     }
 
     #[test]
@@ -296,9 +293,6 @@ mod tests {
         let s = ultrasparc::two_layer_air();
         assert_eq!(s.cavity_count(), 0);
         assert!(!s.is_liquid_cooled());
-        assert!(matches!(
-            s.interfaces().last(),
-            Some(Interface::HeatSink)
-        ));
+        assert!(matches!(s.interfaces().last(), Some(Interface::HeatSink)));
     }
 }

@@ -11,7 +11,9 @@
 //! Coolant channels run along x (the 11.5 mm dimension); 65 channels per
 //! cavity span the 10 mm of y.
 
-use crate::{Block, BlockKind, Floorplan, Interface, Rect, Stack3d, StackBuilder, TierSpec, TsvField};
+use crate::{
+    Block, BlockKind, Floorplan, Interface, Rect, Stack3d, StackBuilder, TierSpec, TsvField,
+};
 use vfc_units::Length;
 
 /// Die width along the flow direction (x): 11.5 mm.
@@ -220,14 +222,22 @@ mod tests {
         let core = core_floorplan();
         assert!((core.area().to_mm2() - 115.0).abs() < 1e-9);
         for b in core.blocks_of_kind(BlockKind::Core) {
-            assert!((b.rect().area().to_mm2() - 10.0).abs() < 1e-9, "{}", b.name());
+            assert!(
+                (b.rect().area().to_mm2() - 10.0).abs() < 1e-9,
+                "{}",
+                b.name()
+            );
         }
         assert_eq!(core.core_count(), 8);
 
         let cache = cache_floorplan();
         assert!((cache.area().to_mm2() - 115.0).abs() < 1e-9);
         for b in cache.blocks_of_kind(BlockKind::L2Cache) {
-            assert!((b.rect().area().to_mm2() - 19.0).abs() < 1e-9, "{}", b.name());
+            assert!(
+                (b.rect().area().to_mm2() - 19.0).abs() < 1e-9,
+                "{}",
+                b.name()
+            );
         }
         assert_eq!(cache.blocks_of_kind(BlockKind::L2Cache).count(), 4);
     }

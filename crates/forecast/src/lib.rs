@@ -39,7 +39,7 @@ mod error;
 mod predictor;
 mod sprt;
 
-pub use arma::ArmaModel;
-pub use error::ForecastError;
-pub use predictor::TemperaturePredictor;
-pub use sprt::{Sprt, SprtDecision};
+pub use self::arma::ArmaModel;
+pub use self::error::ForecastError;
+pub use self::predictor::TemperaturePredictor;
+pub use self::sprt::{Sprt, SprtDecision};

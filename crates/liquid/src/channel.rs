@@ -132,8 +132,7 @@ impl ChannelGeometry {
 
     /// Reynolds number for a per-cavity flow rate.
     pub fn reynolds(&self, per_cavity_flow: VolumetricFlow, coolant: &Coolant) -> f64 {
-        coolant.density * self.channel_velocity(per_cavity_flow)
-            * self.hydraulic_diameter().value()
+        coolant.density * self.channel_velocity(per_cavity_flow) * self.hydraulic_diameter().value()
             / coolant.viscosity
     }
 }
@@ -193,7 +192,11 @@ impl ConvectionModel {
 
     /// Effective junction-to-fluid heat-transfer coefficient per unit base
     /// area (W/m²K) at the given per-cavity flow.
-    pub fn effective_htc(&self, geometry: &ChannelGeometry, per_cavity_flow: VolumetricFlow) -> f64 {
+    pub fn effective_htc(
+        &self,
+        geometry: &ChannelGeometry,
+        per_cavity_flow: VolumetricFlow,
+    ) -> f64 {
         match *self {
             ConvectionModel::PaperConstant { h } => h * geometry.perimeter_factor(),
             ConvectionModel::FlowScaled {
@@ -266,8 +269,14 @@ mod tests {
         // §4.3) rather than the constant developed-laminar h of Eq. 6.
         let re_min = g.reynolds(VolumetricFlow::from_liters_per_minute(0.1), &w);
         let re_max = g.reynolds(VolumetricFlow::from_liters_per_minute(1.0), &w);
-        assert!(re_min > 100.0 && re_min < 2300.0, "laminar at min: {re_min}");
-        assert!(re_max > 2300.0 && re_max < 5000.0, "transitional at max: {re_max}");
+        assert!(
+            re_min > 100.0 && re_min < 2300.0,
+            "laminar at min: {re_min}"
+        );
+        assert!(
+            re_max > 2300.0 && re_max < 5000.0,
+            "transitional at max: {re_max}"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl core::fmt::Display for LiquidError {
         match self {
             LiquidError::NoFlowSettings => write!(f, "pump needs at least one flow setting"),
             LiquidError::UnsortedFlowSettings { index } => {
-                write!(f, "flow settings must increase strictly (violated at {index})")
+                write!(
+                    f,
+                    "flow settings must increase strictly (violated at {index})"
+                )
             }
             LiquidError::SettingOutOfRange { index, count } => {
                 write!(f, "flow setting {index} out of range (pump has {count})")

@@ -30,7 +30,7 @@ mod coolant;
 mod error;
 mod pump;
 
-pub use channel::{ChannelGeometry, ConvectionModel};
-pub use coolant::Coolant;
-pub use error::LiquidError;
-pub use pump::{FlowSetting, Pump, PumpBuilder};
+pub use self::channel::{ChannelGeometry, ConvectionModel};
+pub use self::coolant::Coolant;
+pub use self::error::LiquidError;
+pub use self::pump::{FlowSetting, Pump, PumpBuilder};

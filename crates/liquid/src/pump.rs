@@ -5,7 +5,9 @@ use vfc_units::{Seconds, VolumetricFlow, Watts};
 
 /// One of the pump's discrete flow-rate settings (an index into
 /// [`Pump::flow_settings`], 0 = lowest).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct FlowSetting(usize);
 
 impl FlowSetting {

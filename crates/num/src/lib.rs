@@ -42,11 +42,11 @@ pub mod lstsq;
 mod sparse;
 pub mod stats;
 
-pub use bicgstab::BiCgStab;
-pub use cg::ConjugateGradient;
-pub use dense::DenseMatrix;
-pub use error::NumError;
-pub use sparse::{CsrBuilder, CsrMatrix};
+pub use self::bicgstab::BiCgStab;
+pub use self::cg::ConjugateGradient;
+pub use self::dense::DenseMatrix;
+pub use self::error::NumError;
+pub use self::sparse::{CsrBuilder, CsrMatrix};
 
 /// Convergence report returned by the iterative solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]

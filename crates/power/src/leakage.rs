@@ -106,7 +106,10 @@ mod tests {
     fn disabled_model_is_zero() {
         let m = LeakageModel::disabled();
         assert!(!m.is_enabled());
-        assert_eq!(m.block_leakage(&core_block(), Celsius::new(90.0)), Watts::ZERO);
+        assert_eq!(
+            m.block_leakage(&core_block(), Celsius::new(90.0)),
+            Watts::ZERO
+        );
     }
 
     #[test]

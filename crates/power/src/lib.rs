@@ -34,7 +34,7 @@ mod leakage;
 mod model;
 mod states;
 
-pub use dpm::FixedTimeoutDpm;
-pub use leakage::LeakageModel;
-pub use model::PowerModel;
-pub use states::PowerState;
+pub use self::dpm::FixedTimeoutDpm;
+pub use self::leakage::LeakageModel;
+pub use self::model::PowerModel;
+pub use self::states::PowerState;

@@ -1,7 +1,9 @@
 //! Core power states.
 
 /// The power state of one core, as seen by the power model and DPM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum PowerState {
     /// Executing threads.
     Active,

@@ -39,10 +39,10 @@ mod queue;
 mod talb;
 mod weights;
 
-pub use load_balancing::LoadBalancing;
-pub use metrics::ThroughputMeter;
-pub use migration::ReactiveMigration;
-pub use policy::{SchedContext, SchedulingPolicy};
-pub use queue::{CoreQueue, DEFAULT_CONTEXTS};
-pub use talb::TemperatureAwareLb;
-pub use weights::ThermalWeightTable;
+pub use self::load_balancing::LoadBalancing;
+pub use self::metrics::ThroughputMeter;
+pub use self::migration::ReactiveMigration;
+pub use self::policy::{SchedContext, SchedulingPolicy};
+pub use self::queue::{CoreQueue, DEFAULT_CONTEXTS};
+pub use self::talb::TemperatureAwareLb;
+pub use self::weights::ThermalWeightTable;

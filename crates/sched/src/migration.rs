@@ -79,9 +79,7 @@ impl SchedulingPolicy for ReactiveMigration {
                 continue;
             }
             let target = ctx.coolest_core();
-            if target == hot
-                || ctx.core_temps[hot] - ctx.core_temps[target] < self.margin
-            {
+            if target == hot || ctx.core_temps[hot] - ctx.core_temps[target] < self.margin {
                 continue; // nowhere meaningfully cooler to go
             }
             if let Some(mut t) = queues[hot].take_running() {

@@ -35,10 +35,7 @@ impl ThermalWeightTable {
             assert!(bound.value() > prev, "bounds must increase strictly");
             prev = bound.value();
             assert_eq!(weights.len(), n, "weight vectors must share a length");
-            assert!(
-                weights.iter().all(|&w| w > 0.0),
-                "weights must be positive"
-            );
+            assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
             let mean = weights.iter().sum::<f64>() / n as f64;
             for w in &mut weights {
                 *w /= mean;

@@ -99,13 +99,10 @@ impl Simulation {
                     cavities,
                     cfg.target_temperature - cfg.control_margin,
                     7,
-                    &|demand, model| {
-                        characterization_power(&cfg, &stack, model, demand)
-                    },
+                    &|demand, model| characterization_power(&cfg, &stack, model, demand),
                 )?;
                 let lut = FlowLut::from_characterization(&c, &cfg.pump)?;
-                let ctrl =
-                    FlowController::with_hysteresis(lut, &cfg.pump, cfg.hysteresis);
+                let ctrl = FlowController::with_hysteresis(lut, &cfg.pump, cfg.hysteresis);
                 let active = ctrl.effective_setting().index();
                 (models, active, Some(ctrl))
             }
@@ -233,10 +230,7 @@ impl Simulation {
             bt
         };
         let mut core_temps = block_temps.core_max_temperatures(&self.stack);
-        let mut weights = self
-            .weight_table
-            .weights_for(max_of(&core_temps))
-            .to_vec();
+        let mut weights = self.weight_table.weights_for(max_of(&core_temps)).to_vec();
 
         let mut busy_ticks = vec![0u32; n];
         let mut flow_setting_sum = 0.0;
@@ -303,12 +297,7 @@ impl Simulation {
                 let power =
                     self.build_power(&util, &sleeping, bench.memory_intensity(), &block_temps);
                 let chip_w = Watts::new(power.iter().sum());
-                self.models[self.active].step(
-                    &mut self.temps,
-                    &power,
-                    dt,
-                    cfg.thermal_substeps,
-                )?;
+                self.models[self.active].step(&mut self.temps, &power, dt, cfg.thermal_substeps)?;
                 block_temps = BlockTemperatures::extract(&self.models[self.active], &self.temps);
                 core_temps = block_temps.core_max_temperatures(&self.stack);
                 let tmax = max_of(&core_temps);
@@ -383,8 +372,7 @@ impl Simulation {
                 .as_ref()
                 .map(TemperaturePredictor::refit_count)
                 .unwrap_or(0),
-            mean_flow_setting: (flow_samples > 0)
-                .then(|| flow_setting_sum / flow_samples as f64),
+            mean_flow_setting: (flow_samples > 0).then(|| flow_setting_sum / flow_samples as f64),
             tmax_series: cfg.record_series.then_some(tmax_series),
             flow_series: (cfg.record_series && !flow_series.is_empty()).then_some(flow_series),
         })
@@ -570,7 +558,10 @@ fn map_l2_blocks(stack: &Stack3d, cores: &[(usize, usize)]) -> Vec<(usize, usize
 /// Maps crossbar blocks to their core group. Each pair of tiers forms one
 /// logical crossbar whose power is split evenly over its (usually two)
 /// xbar blocks.
-fn map_crossbars(stack: &Stack3d, cores: &[(usize, usize)]) -> Vec<(usize, usize, Vec<usize>, f64)> {
+fn map_crossbars(
+    stack: &Stack3d,
+    cores: &[(usize, usize)],
+) -> Vec<(usize, usize, Vec<usize>, f64)> {
     // Group tiers in pairs (core+cache): group g covers tiers 2g, 2g+1.
     let mut blocks: Vec<(usize, usize)> = Vec::new();
     for (t, tier) in stack.tiers().iter().enumerate() {

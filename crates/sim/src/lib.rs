@@ -41,9 +41,9 @@ mod error;
 mod metrics;
 mod results;
 
-pub use config::{CoolingKind, PolicyKind, SimConfig, SystemKind};
-pub use cycles::SwingDetector;
-pub use engine::Simulation;
-pub use error::SimError;
-pub use metrics::MetricsCollector;
-pub use results::SimReport;
+pub use self::config::{CoolingKind, PolicyKind, SimConfig, SystemKind};
+pub use self::cycles::SwingDetector;
+pub use self::engine::Simulation;
+pub use self::error::SimError;
+pub use self::metrics::MetricsCollector;
+pub use self::results::SimReport;

@@ -45,7 +45,9 @@ impl MetricsCollector {
             above_target_samples: 0,
             cycle_events: 0,
             cycle_minor_events: 0,
-            swing_detectors: (0..cores).map(|_| SwingDetector::new(cycle_threshold)).collect(),
+            swing_detectors: (0..cores)
+                .map(|_| SwingDetector::new(cycle_threshold))
+                .collect(),
             minor_swing_detectors: (0..cores)
                 .map(|_| SwingDetector::new(cycle_threshold / 2.0))
                 .collect(),
@@ -135,8 +137,7 @@ impl MetricsCollector {
         if self.samples == 0 || self.swing_detectors.is_empty() {
             return 0.0;
         }
-        100.0 * self.cycle_events as f64
-            / (self.samples as f64 * self.swing_detectors.len() as f64)
+        100.0 * self.cycle_events as f64 / (self.samples as f64 * self.swing_detectors.len() as f64)
     }
 
     /// Cycle events at half the threshold, per core-sample, in percent

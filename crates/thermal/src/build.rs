@@ -312,9 +312,11 @@ impl<'a> StackThermalBuilder<'a> {
         // between the two faces of the cavity (isothermal-wall idiom of
         // Fig. 2; the perimeter/fin factor is folded into h_eff).
         let h_eff = lc.convection.effective_htc(&lc.geometry, flow);
-        let fluid_cap =
-            lc.coolant.volumetric_heat_capacity() * area * height
-                * lc.geometry.fluid_volume_fraction(vfc_units::Length::new(height));
+        let fluid_cap = lc.coolant.volumetric_heat_capacity()
+            * area
+            * height
+            * lc.geometry
+                .fluid_volume_fraction(vfc_units::Length::new(height));
         // Advection conductance per channel row: the cavity flow divides
         // evenly over the grid rows (uniform channel array).
         let g_adv = lc.coolant.capacity_rate(flow).value() / rows as f64;
@@ -392,9 +394,15 @@ impl<'a> StackThermalBuilder<'a> {
         // bulk if the sink is on top, through its BEOL if below.
         let (tier, r_die_area) = if k >= tiers {
             let t = tiers - 1;
-            (t, SILICON.slab_area_resistance(self.stack.tiers()[t].si_thickness().value()))
+            (
+                t,
+                SILICON.slab_area_resistance(self.stack.tiers()[t].si_thickness().value()),
+            )
         } else {
-            (k, BEOL.slab_area_resistance(self.stack.tiers()[k].beol_thickness().value()))
+            (
+                k,
+                BEOL.slab_area_resistance(self.stack.tiers()[k].beol_thickness().value()),
+            )
         };
 
         let spreader = layout
@@ -441,10 +449,7 @@ mod tests {
     use vfc_units::{Length, Watts};
 
     fn grid_for(stack: &Stack3d, mm: f64) -> GridSpec {
-        GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(mm),
-        )
+        GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(mm))
     }
 
     fn flow(ml_min: f64) -> VolumetricFlow {
@@ -494,7 +499,10 @@ mod tests {
         let model = b.build(Some(flow(500.0))).unwrap();
         let t = model.steady_state(&model.zero_power(), None).unwrap();
         for &ti in &t {
-            assert!((ti - 60.0).abs() < 1e-6, "expected inlet temperature, got {ti}");
+            assert!(
+                (ti - 60.0).abs() < 1e-6,
+                "expected inlet temperature, got {ti}"
+            );
         }
     }
 
@@ -559,7 +567,8 @@ mod tests {
             (ultrasparc::two_layer_liquid(), Some(flow(400.0))),
             (ultrasparc::two_layer_air(), None),
         ] {
-            let b = StackThermalBuilder::new(&stack, grid_for(&stack, 1.0), ThermalConfig::default());
+            let b =
+                StackThermalBuilder::new(&stack, grid_for(&stack, 1.0), ThermalConfig::default());
             let model = b.build(fl).unwrap();
             let p = model.uniform_block_power(&stack, |blk| match blk.kind() {
                 BlockKind::Core => Watts::new(3.0),
@@ -651,11 +660,11 @@ mod tests {
             .build()
             .unwrap();
         let cfg = ThermalConfig::default();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.0),
-        );
-        let model = StackThermalBuilder::new(&stack, grid, cfg).build(None).unwrap();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
+        let model = StackThermalBuilder::new(&stack, grid, cfg)
+            .build(None)
+            .unwrap();
         let p_total = 20.0;
         let p = model.uniform_block_power(&stack, |_| Watts::new(p_total));
         let t = model.steady_state(&p, None).unwrap();
@@ -693,12 +702,15 @@ mod tests {
         let hi = b.build(Some(flow(1041.7))).unwrap();
         let t_lo = lo.steady_state(&p_of(&lo), None).unwrap();
         let t_hi = hi.steady_state(&p_of(&hi), None).unwrap();
-        let d = lo.max_junction_temperature(&t_lo).value()
-            - hi.max_junction_temperature(&t_hi).value();
+        let d =
+            lo.max_junction_temperature(&t_lo).value() - hi.max_junction_temperature(&t_hi).value();
         // Only the small sensible-heat (advection) term responds to flow:
         // Eq. 6-7's constant h leaves ~no decision range (DESIGN.md §4.3).
         assert!(d > 0.0, "more flow can never be hotter");
-        assert!(d < 1.5, "constant-h flow leverage should be ~1 K, got {d:.2}");
+        assert!(
+            d < 1.5,
+            "constant-h flow leverage should be ~1 K, got {d:.2}"
+        );
     }
 
     #[test]

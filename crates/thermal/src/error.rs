@@ -39,10 +39,16 @@ impl core::fmt::Display for ThermalError {
                 write!(f, "air-cooled stack does not take a coolant flow rate")
             }
             ThermalError::PowerLengthMismatch { expected, got } => {
-                write!(f, "power vector has {got} entries, model has {expected} nodes")
+                write!(
+                    f,
+                    "power vector has {got} entries, model has {expected} nodes"
+                )
             }
             ThermalError::StateLengthMismatch { expected, got } => {
-                write!(f, "state vector has {got} entries, model has {expected} nodes")
+                write!(
+                    f,
+                    "state vector has {got} entries, model has {expected} nodes"
+                )
             }
             ThermalError::Solver(e) => write!(f, "thermal solve failed: {e}"),
             ThermalError::InvalidTimeStep => write!(f, "time step must be positive"),

@@ -55,9 +55,9 @@ mod model;
 mod sensors;
 mod validate;
 
-pub use build::StackThermalBuilder;
-pub use config::{AirPackageConfig, LiquidCoolingConfig, ThermalConfig};
-pub use error::ThermalError;
-pub use model::{NodeLayout, ThermalModel};
-pub use sensors::{BlockTemperatures, SensorNoise};
-pub use validate::energy_balance_residual;
+pub use self::build::StackThermalBuilder;
+pub use self::config::{AirPackageConfig, LiquidCoolingConfig, ThermalConfig};
+pub use self::error::ThermalError;
+pub use self::model::{NodeLayout, ThermalModel};
+pub use self::sensors::{BlockTemperatures, SensorNoise};
+pub use self::validate::energy_balance_residual;

@@ -83,8 +83,7 @@ impl NodeLayout {
 
     /// Node index of a spreader cell, if this is an air-cooled model.
     pub fn spreader_node(&self, row: usize, col: usize) -> Option<usize> {
-        self.spreader_offset
-            .map(|off| off + row * self.cols + col)
+        self.spreader_offset.map(|off| off + row * self.cols + col)
     }
 
     /// The lumped heat-sink node, if this is an air-cooled model.
@@ -222,13 +221,7 @@ impl ThermalModel {
     ///
     /// Panics if `power.len()` differs from the node count or indices are
     /// out of range.
-    pub fn add_block_power(
-        &self,
-        power: &mut [f64],
-        tier: usize,
-        block: usize,
-        watts: Watts,
-    ) {
+    pub fn add_block_power(&self, power: &mut [f64], tier: usize, block: usize, watts: Watts) {
         assert_eq!(power.len(), self.layout.node_count, "power length");
         let cells = self.layout.tier_block_cell_counts[tier][block];
         if cells == 0 || watts.value() == 0.0 {
@@ -265,11 +258,7 @@ impl ThermalModel {
             Some(w) if w.len() == self.layout.node_count => w.to_vec(),
             _ => self.initial_state(),
         };
-        let rhs: Vec<f64> = power
-            .iter()
-            .zip(&self.b0)
-            .map(|(p, b)| p + b)
-            .collect();
+        let rhs: Vec<f64> = power.iter().zip(&self.b0).map(|(p, b)| p + b).collect();
         self.solver.solve(&self.g, &rhs, &mut x)?;
         Ok(x)
     }

@@ -154,10 +154,8 @@ mod tests {
 
     fn model_and_temps() -> (ThermalModel, Vec<f64>, Stack3d) {
         let stack = ultrasparc::two_layer_liquid();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
         let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
             .build(Some(VolumetricFlow::from_ml_per_minute(400.0)))
             .unwrap();
@@ -180,9 +178,7 @@ mod tests {
         assert_eq!(cores.len(), 8);
         let hottest_core = cores.iter().map(|c| c.value()).fold(f64::MIN, f64::max);
         // With only cores powered, the global junction max is on a core.
-        assert!(
-            (hottest_core - model.max_junction_temperature(&temps).value()).abs() < 1e-9
-        );
+        assert!((hottest_core - model.max_junction_temperature(&temps).value()).abs() < 1e-9);
         assert!(bt.overall_max().value() >= hottest_core);
     }
 
@@ -204,8 +200,7 @@ mod tests {
         assert_eq!(a.read(truth), b.read(truth));
 
         let mut n = SensorNoise::new(TemperatureDelta::new(0.5), 7);
-        let mean: f64 =
-            (0..4000).map(|_| n.read(truth).value()).sum::<f64>() / 4000.0;
+        let mean: f64 = (0..4000).map(|_| n.read(truth).value()).sum::<f64>() / 4000.0;
         assert!((mean - 80.0).abs() < 0.05, "mean {mean}");
     }
 

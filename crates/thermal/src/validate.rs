@@ -46,10 +46,8 @@ mod tests {
     #[test]
     fn residual_is_tiny_at_steady_state_and_large_otherwise() {
         let stack = ultrasparc::two_layer_liquid();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
         let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
             .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
             .unwrap();
@@ -71,10 +69,8 @@ mod tests {
     #[test]
     fn length_mismatch_is_reported() {
         let stack = ultrasparc::two_layer_air();
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(2.0),
-        );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(2.0));
         let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
             .build(None)
             .unwrap();

@@ -31,15 +31,14 @@ mod temperature;
 mod thermal;
 mod time;
 
-pub use flow::{MassFlow, VolumetricFlow};
-pub use geometry::{Area, Length, Volume};
-pub use power::{Energy, HeatFlux, Watts};
-pub use temperature::{Celsius, Kelvin, TemperatureDelta};
-pub use thermal::{
-    AreaThermalResistance, HeatCapacity, ThermalConductance, ThermalConductivity,
-    ThermalResistance,
+pub use self::flow::{MassFlow, VolumetricFlow};
+pub use self::geometry::{Area, Length, Volume};
+pub use self::power::{Energy, HeatFlux, Watts};
+pub use self::temperature::{Celsius, Kelvin, TemperatureDelta};
+pub use self::thermal::{
+    AreaThermalResistance, HeatCapacity, ThermalConductance, ThermalConductivity, ThermalResistance,
 };
-pub use time::Seconds;
+pub use self::time::Seconds;
 
 /// Declares a transparent `f64` newtype with the shared constructor,
 /// accessor, `Display`, ordering helpers and serde derives used by every

@@ -117,7 +117,10 @@ mod tests {
         let t = Celsius::new(80.0);
         assert_eq!(t.to_kelvin().value(), 353.15);
         assert_eq!(t.to_kelvin().to_celsius(), t);
-        assert_eq!(Kelvin::from(t).to_celsius(), Celsius::from(Kelvin::new(353.15)));
+        assert_eq!(
+            Kelvin::from(t).to_celsius(),
+            Celsius::from(Kelvin::new(353.15))
+        );
     }
 
     #[test]

@@ -183,8 +183,14 @@ mod tests {
     fn capacity_terms() {
         // Table III: convection capacitance 140 J/K.
         let c = HeatCapacity::new(140.0);
-        assert_eq!(c.stored_energy(TemperatureDelta::new(2.0)), Energy::new(280.0));
-        assert_eq!(c.per_time(Seconds::new(0.01)), ThermalConductance::new(14000.0));
+        assert_eq!(
+            c.stored_energy(TemperatureDelta::new(2.0)),
+            Energy::new(280.0)
+        );
+        assert_eq!(
+            c.per_time(Seconds::new(0.01)),
+            ThermalConductance::new(14000.0)
+        );
     }
 
     proptest! {

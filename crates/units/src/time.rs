@@ -50,7 +50,10 @@ mod tests {
     #[test]
     fn steps() {
         // 60 s of simulation at the paper's 100 ms sampling = 600 samples.
-        assert_eq!(Seconds::new(60.0).steps_of(Seconds::from_millis(100.0)), 600);
+        assert_eq!(
+            Seconds::new(60.0).steps_of(Seconds::from_millis(100.0)),
+            600
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ mod recorded;
 mod thread;
 mod trace;
 
-pub use benchmark::Benchmark;
-pub use generator::WorkloadGenerator;
-pub use recorded::{ThreadTrace, TraceReplayer};
-pub use thread::ThreadSpec;
-pub use trace::PhasedWorkload;
+pub use self::benchmark::Benchmark;
+pub use self::generator::WorkloadGenerator;
+pub use self::recorded::{ThreadTrace, TraceReplayer};
+pub use self::thread::ThreadSpec;
+pub use self::trace::PhasedWorkload;

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![
             Block::new("acc0", BlockKind::Core, Rect::from_mm(0.0, 0.0, 3.0, 4.0)),
             Block::new("acc1", BlockKind::Core, Rect::from_mm(0.0, 4.0, 3.0, 4.0)),
-            Block::new("router", BlockKind::Crossbar, Rect::from_mm(3.0, 0.0, 2.0, 8.0)),
+            Block::new(
+                "router",
+                BlockKind::Crossbar,
+                Rect::from_mm(3.0, 0.0, 2.0, 8.0),
+            ),
             Block::new("acc2", BlockKind::Core, Rect::from_mm(5.0, 0.0, 3.0, 4.0)),
             Block::new("acc3", BlockKind::Core, Rect::from_mm(5.0, 4.0, 3.0, 4.0)),
         ],
@@ -30,9 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Length::from_millimeters(8.0),
         Length::from_millimeters(8.0),
         vec![
-            Block::new("spm0", BlockKind::L2Cache, Rect::from_mm(0.0, 0.0, 3.0, 8.0)),
-            Block::new("router", BlockKind::Crossbar, Rect::from_mm(3.0, 0.0, 2.0, 8.0)),
-            Block::new("spm1", BlockKind::L2Cache, Rect::from_mm(5.0, 0.0, 3.0, 8.0)),
+            Block::new(
+                "spm0",
+                BlockKind::L2Cache,
+                Rect::from_mm(0.0, 0.0, 3.0, 8.0),
+            ),
+            Block::new(
+                "router",
+                BlockKind::Crossbar,
+                Rect::from_mm(3.0, 0.0, 2.0, 8.0),
+            ),
+            Block::new(
+                "spm1",
+                BlockKind::L2Cache,
+                Rect::from_mm(5.0, 0.0, 3.0, 8.0),
+            ),
         ],
     )?;
 
@@ -55,15 +71,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .interface(cavity)
         .build()?;
 
-    println!("custom stack: {} tiers, {} cavities, {} cores", stack.tiers().len(),
-             stack.cavity_count(), stack.core_count());
+    println!(
+        "custom stack: {} tiers, {} cavities, {} cores",
+        stack.tiers().len(),
+        stack.cavity_count(),
+        stack.core_count()
+    );
     println!("{}", stack.tiers()[0].floorplan().render_ascii(32, 16));
 
     // Steady-state map across the pump settings for a hot accelerator mix.
-    let grid = GridSpec::from_cell_size(
-        stack.tiers()[0].floorplan(),
-        Length::from_millimeters(0.5),
-    );
+    let grid =
+        GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(0.5));
     let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
     let pump = Pump::laing_ddc();
     println!("setting  per-cavity ml/min  Tmax (C)  outlet coolant (C)");
@@ -71,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let flow = pump.per_cavity_flow(s, stack.cavity_count());
         let model = builder.build(Some(flow))?;
         let p = model.uniform_block_power(&stack, |b| match b.kind() {
-            BlockKind::Core => Watts::new(8.0),   // dense accelerator tiles
+            BlockKind::Core => Watts::new(8.0), // dense accelerator tiles
             BlockKind::L2Cache => Watts::new(1.5),
             BlockKind::Crossbar => Watts::new(2.0),
             _ => Watts::ZERO,

@@ -18,11 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("2-layer", ultrasparc::two_layer_liquid(), 3usize),
         ("4-layer", ultrasparc::four_layer_liquid(), 5),
     ] {
-        println!("=== {label} stack: {} cores, {} cavities ===", stack.core_count(), cavities);
-        let grid = GridSpec::from_cell_size(
-            stack.tiers()[0].floorplan(),
-            Length::from_millimeters(1.0),
+        println!(
+            "=== {label} stack: {} cores, {} cavities ===",
+            stack.core_count(),
+            cavities
         );
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
         let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let stack_for_power = stack.clone();
         let c = characterize(
@@ -36,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     vfc::floorplan::BlockKind::Core => {
                         Watts::new(demand * 3.0 + (1.0 - demand) * 1.0 + 0.3)
                     }
-                    vfc::floorplan::BlockKind::L2Cache => Watts::new(1.28 * (0.2 + 0.8 * demand) + 0.57),
+                    vfc::floorplan::BlockKind::L2Cache => {
+                        Watts::new(1.28 * (0.2 + 0.8 * demand) + 0.57)
+                    }
                     vfc::floorplan::BlockKind::Crossbar => Watts::new(demand * 1.5 + 0.45),
                     _ => Watts::new(0.3),
                 })

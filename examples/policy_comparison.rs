@@ -12,8 +12,8 @@ use vfc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Web-med".into());
-    let bench = Benchmark::by_name(&name)
-        .ok_or_else(|| format!("unknown Table II workload `{name}`"))?;
+    let bench =
+        Benchmark::by_name(&name).ok_or_else(|| format!("unknown Table II workload `{name}`"))?;
     println!("workload: {bench}\n");
     println!(
         "{:<12} {:>7} {:>7} {:>9} {:>9} {:>10} {:>10} {:>8} {:>6}",

@@ -38,10 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .duration(Seconds::new(30.0))
     .run()?;
 
-    let cooling_saving =
-        100.0 * (1.0 - report.pump_energy.value() / baseline.pump_energy.value());
-    let total_saving = 100.0
-        * (1.0 - report.total_energy().value() / baseline.total_energy().value());
+    let cooling_saving = 100.0 * (1.0 - report.pump_energy.value() / baseline.pump_energy.value());
+    let total_saving =
+        100.0 * (1.0 - report.total_energy().value() / baseline.total_energy().value());
     println!(
         "vs worst-case flow: {cooling_saving:.1}% cooling energy saved, {total_saving:.1}% total"
     );

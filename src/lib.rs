@@ -5,4 +5,6 @@
 //! and the substrate crates under `crates/`. It re-exports [`vfc`] so that
 //! examples and tests can use a single import root.
 
+#![warn(missing_docs)]
+
 pub use vfc::*;

@@ -10,10 +10,8 @@ use vfc::workload::Benchmark;
 
 fn real_lut() -> (FlowLut, Pump) {
     let stack = ultrasparc::two_layer_liquid();
-    let grid = GridSpec::from_cell_size(
-        stack.tiers()[0].floorplan(),
-        Length::from_millimeters(1.5),
-    );
+    let grid =
+        GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.5));
     let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
     let pump = Pump::laing_ddc();
     let stack_ref = stack.clone();
@@ -72,7 +70,9 @@ fn controller_settles_without_oscillation_on_steady_demand() {
 #[test]
 fn hysteresis_suppresses_boundary_chatter() {
     let (lut, pump) = real_lut();
-    let boundary = lut.boundary(pump.max_setting(), FlowSetting::from_index(3)).value();
+    let boundary = lut
+        .boundary(pump.max_setting(), FlowSetting::from_index(3))
+        .value();
     let mut with = FlowController::new(lut.clone(), &pump);
     let mut without = FlowController::with_hysteresis(lut, &pump, TemperatureDelta::ZERO);
     for i in 0..400 {
@@ -107,7 +107,11 @@ fn proactive_control_switches_up_earlier_on_a_ramp() {
         }
         let baseline = ctrl.switch_count();
         for i in 0..200 {
-            let input = if use_forecast { ramp(i + horizon) } else { ramp(i) };
+            let input = if use_forecast {
+                ramp(i + horizon)
+            } else {
+                ramp(i)
+            };
             ctrl.step(input, Seconds::from_millis(100.0));
             if ctrl.switch_count() > baseline {
                 return i;
@@ -136,7 +140,11 @@ fn proactive_control_switches_up_earlier_on_a_ramp() {
         let r = Simulation::new(cfg).unwrap().run().unwrap();
         // The production 1 mm grid holds 0%; the coarse 2 mm test grid
         // may show an isolated settling spike.
-        assert!(r.hot_spot_pct <= 2.5, "proactive={mode}: {:.2}%", r.hot_spot_pct);
+        assert!(
+            r.hot_spot_pct <= 2.5,
+            "proactive={mode}: {:.2}%",
+            r.hot_spot_pct
+        );
     }
 }
 

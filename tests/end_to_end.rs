@@ -76,7 +76,12 @@ fn low_utilization_workloads_show_the_headline_savings() {
 #[test]
 fn max_flow_prevents_all_hot_spots_but_air_does_not() {
     let air = quick(CoolingKind::Air, PolicyKind::LoadBalancing, "Web-high", 6.0);
-    let liq = quick(CoolingKind::LiquidMax, PolicyKind::LoadBalancing, "Web-high", 6.0);
+    let liq = quick(
+        CoolingKind::LiquidMax,
+        PolicyKind::LoadBalancing,
+        "Web-high",
+        6.0,
+    );
     assert!(
         air.hot_spot_pct > 10.0,
         "air-cooled Web-high must show hot spots, got {:.1}%",
@@ -140,7 +145,12 @@ fn four_layer_system_runs_and_is_hotter_per_flow() {
 
 #[test]
 fn reports_are_internally_consistent() {
-    let r = quick(CoolingKind::LiquidVariable, PolicyKind::Talb, "Database", 6.0);
+    let r = quick(
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        "Database",
+        6.0,
+    );
     assert_eq!(r.samples, 60);
     assert!(r.mean_temperature <= r.max_temperature);
     assert!(r.total_energy().value() >= r.chip_energy.value());

@@ -4,7 +4,13 @@
 use vfc::prelude::*;
 use vfc::workload::Benchmark;
 
-fn run(system: SystemKind, cooling: CoolingKind, policy: PolicyKind, bench: &str, secs: f64) -> SimReport {
+fn run(
+    system: SystemKind,
+    cooling: CoolingKind,
+    policy: PolicyKind,
+    bench: &str,
+    secs: f64,
+) -> SimReport {
     Experiment::new(system, cooling, policy, Benchmark::by_name(bench).unwrap())
         .duration(Seconds::new(secs))
         .grid_cell(Length::from_millimeters(2.0))
@@ -14,8 +20,20 @@ fn run(system: SystemKind, cooling: CoolingKind, policy: PolicyKind, bench: &str
 
 #[test]
 fn talb_reduces_hot_spots_and_gradients_under_air_cooling() {
-    let lb = run(SystemKind::TwoLayer, CoolingKind::Air, PolicyKind::LoadBalancing, "Web-med", 10.0);
-    let talb = run(SystemKind::TwoLayer, CoolingKind::Air, PolicyKind::Talb, "Web-med", 10.0);
+    let lb = run(
+        SystemKind::TwoLayer,
+        CoolingKind::Air,
+        PolicyKind::LoadBalancing,
+        "Web-med",
+        10.0,
+    );
+    let talb = run(
+        SystemKind::TwoLayer,
+        CoolingKind::Air,
+        PolicyKind::Talb,
+        "Web-med",
+        10.0,
+    );
     assert!(
         talb.gradient_pct <= lb.gradient_pct,
         "TALB gradients {:.1}% must not exceed LB's {:.1}%",
@@ -38,8 +56,20 @@ fn talb_reduces_hot_spots_and_gradients_under_air_cooling() {
 fn talb_matches_lb_throughput() {
     // The paper: TALB only reweights queue lengths; performance-neutral.
     for bench in ["Web-med", "Web-high"] {
-        let lb = run(SystemKind::TwoLayer, CoolingKind::LiquidMax, PolicyKind::LoadBalancing, bench, 8.0);
-        let talb = run(SystemKind::TwoLayer, CoolingKind::LiquidMax, PolicyKind::Talb, bench, 8.0);
+        let lb = run(
+            SystemKind::TwoLayer,
+            CoolingKind::LiquidMax,
+            PolicyKind::LoadBalancing,
+            bench,
+            8.0,
+        );
+        let talb = run(
+            SystemKind::TwoLayer,
+            CoolingKind::LiquidMax,
+            PolicyKind::Talb,
+            bench,
+            8.0,
+        );
         let ratio = talb.throughput / lb.throughput;
         assert!(
             (0.97..=1.03).contains(&ratio),
@@ -50,8 +80,20 @@ fn talb_matches_lb_throughput() {
 
 #[test]
 fn migrations_occur_on_hot_air_but_not_under_max_flow() {
-    let air = run(SystemKind::TwoLayer, CoolingKind::Air, PolicyKind::ReactiveMigration, "Web-high", 10.0);
-    let liq = run(SystemKind::TwoLayer, CoolingKind::LiquidMax, PolicyKind::ReactiveMigration, "Web-high", 10.0);
+    let air = run(
+        SystemKind::TwoLayer,
+        CoolingKind::Air,
+        PolicyKind::ReactiveMigration,
+        "Web-high",
+        10.0,
+    );
+    let liq = run(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidMax,
+        PolicyKind::ReactiveMigration,
+        "Web-high",
+        10.0,
+    );
     assert!(
         air.migrations > 0,
         "hot air-cooled run must trigger migrations"
@@ -61,7 +103,13 @@ fn migrations_occur_on_hot_air_but_not_under_max_flow() {
         "the paper: at max flow no temperature-triggered migrations occur"
     );
     // And the migration overhead costs throughput relative to plain LB.
-    let lb_air = run(SystemKind::TwoLayer, CoolingKind::Air, PolicyKind::LoadBalancing, "Web-high", 10.0);
+    let lb_air = run(
+        SystemKind::TwoLayer,
+        CoolingKind::Air,
+        PolicyKind::LoadBalancing,
+        "Web-high",
+        10.0,
+    );
     assert!(
         air.throughput <= lb_air.throughput * 1.001,
         "migration cannot beat LB on completions: {} vs {}",
@@ -74,7 +122,13 @@ fn migrations_occur_on_hot_air_but_not_under_max_flow() {
 fn thread_accounting_is_conserved() {
     // With low utilization every generated thread completes within the
     // run (plus stragglers bounded by queue depth).
-    let r = run(SystemKind::TwoLayer, CoolingKind::LiquidMax, PolicyKind::LoadBalancing, "MPlayer", 10.0);
+    let r = run(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidMax,
+        PolicyKind::LoadBalancing,
+        "MPlayer",
+        10.0,
+    );
     // MPlayer: 6.5% of 32 contexts ≈ 2.08 contexts busy; mean thread
     // 72 ms → ~29 threads/s.
     let expected = 0.065 * 32.0 / 0.0721;
@@ -87,7 +141,13 @@ fn thread_accounting_is_conserved() {
 
 #[test]
 fn dpm_reduces_idle_chip_energy() {
-    let without = run(SystemKind::TwoLayer, CoolingKind::LiquidMax, PolicyKind::LoadBalancing, "MPlayer", 8.0);
+    let without = run(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidMax,
+        PolicyKind::LoadBalancing,
+        "MPlayer",
+        8.0,
+    );
     let with = {
         Experiment::new(
             SystemKind::TwoLayer,
@@ -123,8 +183,8 @@ fn weight_table_reflects_thermal_asymmetry_on_air() {
     .with_grid_cell(Length::from_millimeters(2.0));
     let sim = Simulation::new(cfg).unwrap();
     let w = sim.weight_table().weights_for(Celsius::new(75.0));
-    let spread = w.iter().cloned().fold(f64::MIN, f64::max)
-        - w.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        w.iter().cloned().fold(f64::MIN, f64::max) - w.iter().cloned().fold(f64::MAX, f64::min);
     assert!(
         spread > 1e-3,
         "air-cooled cores share a sink but differ in position; weights {w:?}"

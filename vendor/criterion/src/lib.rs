@@ -1,0 +1,240 @@
+//! Offline stand-in for the real `criterion` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the external crates it names. The API subset used by the
+//! benches in `crates/bench/benches/` is provided: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size`, `bench_function`
+//! and `bench_with_input`, the [`Bencher::iter`] timing loop and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after a short warm-up, each sample
+//! times a batch of iterations sized to run for about a millisecond, and
+//! the per-iteration median/min/max over `sample_size` samples is printed
+//! as `<group>/<id>: median <t> (min <t>, max <t>) x <iters>`. There are no
+//! statistical comparisons, plots or saved baselines; for publication-grade
+//! numbers swap in the real criterion (no source edits are required).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(1);
+
+/// Entry point handed to each benchmark function by the generated main.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 20, f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by the group benchmark methods (`BenchmarkId`,
+/// `&str` or `String`).
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations per timed sample, calibrated on the first sample.
+    iters_per_sample: u64,
+    /// Per-iteration durations, one per completed sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating one sample per call from the harness.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.iters_per_sample == 0 {
+            // Calibrate: grow the batch until it fills the sample budget.
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+                    // Calibration only; the cold first call is not recorded
+                    // as a sample so warm-up cost stays out of the stats.
+                    self.iters_per_sample = iters;
+                    return;
+                }
+                iters *= 2;
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters_per_sample: 0,
+        samples: Vec::with_capacity(sample_size),
+    };
+    // One calibration call, then the timed samples.
+    f(&mut bencher);
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = *bencher.samples.last().unwrap();
+    println!(
+        "{id}: median {median:?} (min {min:?}, max {max:?}) x {}",
+        bencher.iters_per_sample
+    );
+}
+
+/// Collects benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (CLI arguments are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                black_box(x * 2)
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for the real `parking_lot` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the external crates it names. Only the API subset used in-tree
+//! is provided: a [`Mutex`] whose `lock()` returns the guard directly
+//! (no `Result`). It is backed by `std::sync::Mutex`; poisoning is
+//! swallowed, matching parking_lot's no-poisoning semantics.
+
+#![warn(missing_docs)]
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with parking_lot's panic-free `lock()` API,
+/// backed by `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// Unlike `std`, a poisoned lock (a panic in another holder) is not an
+    /// error: the guard is returned anyway, as parking_lot does.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

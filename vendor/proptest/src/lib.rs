@@ -1,0 +1,361 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the external crates it names. The subset provided here covers
+//! everything the in-tree property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`],
+//! * the [`Strategy`] trait with `prop_map` and `boxed`,
+//! * range strategies, [`Just`], [`any`] and [`collection::vec`].
+//!
+//! Semantics differ from the real crate in two deliberate ways: cases are
+//! drawn from a **deterministic** per-test SplitMix64 stream (seeded from
+//! the test name), so runs are reproducible without a `proptest-regressions`
+//! directory; and there is **no shrinking** — a failing case reports its
+//! case number and message but is not minimized. Swapping in the real
+//! proptest requires no source edits in the test code.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, StandardDistribution};
+
+/// Error produced by a failing `prop_assert!` inside a test case body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration, accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test (real proptest defaults to
+    /// 256; the offline shim defaults lower to keep `cargo test` quick).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns a config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random test inputs.
+///
+/// Unlike the real proptest there is no value tree: a strategy only knows
+/// how to sample, not how to shrink.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Strategy producing a single constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> core::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        let idx = rng.random_range(0..self.arms.len());
+        self.arms[idx].sample_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Strategy for the standard distribution of `A`; see [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct StandardStrategy<A> {
+    _marker: core::marker::PhantomData<A>,
+}
+
+impl<A: StandardDistribution> Strategy for StandardStrategy<A> {
+    type Value = A;
+    fn sample_value(&self, rng: &mut StdRng) -> A {
+        rng.random::<A>()
+    }
+}
+
+/// Returns the canonical strategy for `A` (full `bool`s, `f64` in `[0,1)`,
+/// full-range integers).
+pub fn any<A: StandardDistribution>() -> StandardStrategy<A> {
+    StandardStrategy {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections (only `Vec` is provided offline).
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Strategy for `Vec`s with lengths drawn from a range; see [`fn@vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec<S::Value>` with a length uniform in `len` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports property tests conventionally glob in.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runtime support for the [`proptest!`](crate::proptest) expansion.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+
+    /// Deterministic per-(test, case) RNG: seeded from the test's name (via
+    /// the fixed-key `DefaultHasher`) and the case index.
+    pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut h);
+        StdRng::seed_from_u64(h.finish() ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Defines property tests: each `fn` runs `config.cases` times with inputs
+/// freshly sampled from the strategies after `in`.
+///
+/// ```
+/// // (inside a test module this would also carry `#[test]`)
+/// proptest::proptest! {
+///     fn addition_commutes(a in -1.0f64..1.0, b in -1.0f64..1.0) {
+///         proptest::prop_assert!((a + b - (b + a)).abs() < 1e-15);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__rt::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng);)+
+                let __run = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                if let ::core::result::Result::Err(e) = __run() {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Like `assert!` but fails only the current proptest case, with a
+/// formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // stringify! goes through an argument, not the format string, so
+        // conditions containing braces (`matches!(x, Foo { .. })`) work.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails only the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            x in 1usize..10,
+            v in crate::collection::vec(-1.0f64..1.0, 0..5),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|e| (-1.0..1.0).contains(e)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4 })]
+        #[test]
+        fn oneof_and_map(k in prop_oneof![Just(0usize), (1usize..3).prop_map(|i| i * 10)]) {
+            prop_assert!(k == 0 || k == 10 || k == 20, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let strat = 0.0f64..1.0;
+        let a = strat.sample_value(&mut crate::__rt::case_rng("t", 3));
+        let b = strat.sample_value(&mut crate::__rt::case_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the real `rand` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the external crates it names, exposing the same import paths
+//! the in-tree code uses (`rand::rngs::StdRng`, `rand::SeedableRng`,
+//! `rand::RngExt` with `random`/`random_range`). The generator is
+//! SplitMix64 — deterministic, seedable, and statistically adequate for
+//! the simulator's Poisson workload generator and the randomized tests;
+//! it is **not** cryptographically secure and the real crate's stream for
+//! a given seed will differ.
+
+#![warn(missing_docs)]
+
+/// Minimal core RNG interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface matching the subset of `rand::SeedableRng` used
+/// in-tree.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods for sampling values and ranges, mirroring the
+/// `random`/`random_range` names of modern `rand` releases.
+pub trait RngExt: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, uniform integers, fair `bool`).
+    fn random<T: StandardDistribution>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// The element type is inferred from the use site (as in the real
+    /// crate), so `rng.random_range(2..30)` can produce a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Types samplable from their "standard" distribution via [`RngExt::random`].
+pub trait StandardDistribution: Sized {
+    /// Draws one value from the standard distribution for this type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardDistribution for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardDistribution for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardDistribution for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardDistribution for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges samplable via [`RngExt::random_range`]; the parameter `T` is the
+/// element type, driving integer-literal inference at the call site.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Modulo sampling: the bias is far below what the
+                // simulator's statistics can resolve.
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+pub mod rngs {
+    //! Concrete generators (only [`StdRng`] is provided offline).
+
+    use crate::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Same seed ⇒ same stream, which the simulator's reproducibility
+    /// tests rely on. The stream differs from the real crate's ChaCha12.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(2..30usize);
+            assert!((2..30).contains(&x));
+            let f = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean = (0..100_000).map(|_| rng.random::<f64>()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

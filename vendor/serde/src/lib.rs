@@ -1,0 +1,28 @@
+//! Offline marker-trait stand-in for the real `serde` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the external crates it names. The repository's types carry
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so that a build
+//! against the real serde works unchanged, but nothing in-tree actually
+//! drives the serde data model. This shim therefore provides:
+//!
+//! * empty marker traits [`Serialize`] and [`Deserialize`], enough for
+//!   `T: serde::Serialize` bounds to compile;
+//! * the derive macros of the same names (from the vendored
+//!   `serde_derive`), which emit marker impls and accept — and ignore —
+//!   `#[serde(...)]` helper attributes such as `#[serde(transparent)]`.
+//!
+//! Swapping in the real serde is a one-line change in the workspace
+//! manifest and requires no source edits.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for serde's `Serialize` trait. Carries no methods; it
+/// exists so trait bounds and derives compile offline.
+pub trait Serialize {}
+
+/// Marker stand-in for serde's `Deserialize` trait (the `'de` lifetime is
+/// dropped since no deserializer exists here).
+pub trait Deserialize {}

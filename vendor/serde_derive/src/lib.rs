@@ -1,0 +1,65 @@
+//! Offline no-op stand-in for the real `serde_derive` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the handful of external crates it names. The real
+//! `serde_derive` generates full `Serialize`/`Deserialize` implementations;
+//! nothing in this repository ever serializes through the serde data model
+//! (the derives exist so downstream users *could*), so this stand-in emits
+//! only marker-trait impls for the vendored `serde` marker traits. The
+//! `#[serde(...)]` helper attribute is accepted and ignored.
+//!
+//! Limitations (deliberate, to keep the shim tiny): the derived type must
+//! be a non-generic `struct` or `enum`. A generic type produces a
+//! `compile_error!` naming this crate so the failure is self-explaining.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Emits `impl ::serde::<trait_name> for <Type> {}` for the type the
+/// derive is attached to.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(type_name)) = tokens.next() {
+                    name = Some(type_name.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return "compile_error!(\"serde shim: could not find the type name in the derive input\");"
+            .parse()
+            .unwrap();
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.next() {
+        if p.as_char() == '<' {
+            return format!(
+                "compile_error!(\"serde shim: generic type `{name}` is not supported; \
+                 extend vendor/serde_derive if you need this\");"
+            )
+            .parse()
+            .unwrap();
+        }
+    }
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// No-op `Serialize` derive: emits a marker impl only.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// No-op `Deserialize` derive: emits a marker impl only.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

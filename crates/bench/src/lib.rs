@@ -2,14 +2,17 @@
 //!
 //! Each `src/bin/*` binary prints one table or figure; the logic lives in
 //! [`figures`] so `all_figures` can regenerate everything in one run.
-//! Simulations fan out over a small thread pool (results stay in input
-//! order).
+//! Simulations go through [`shared_runner`] — `vfc_runner`'s
+//! work-stealing executor plus its config-hash result cache — so a rerun
+//! (or an overlapping figure in the same run) skips every
+//! already-simulated cell.
 
 #![warn(missing_docs)]
 
 pub mod figures;
 
-use parking_lot::Mutex;
+use std::sync::OnceLock;
+
 use vfc::prelude::*;
 
 /// Default simulated duration for the figure-regeneration runs. 30 s at
@@ -19,43 +22,42 @@ pub fn default_duration() -> Seconds {
     Seconds::new(30.0)
 }
 
-/// Runs a batch of simulations across `std::thread::available_parallelism`
-/// workers, preserving input order.
+/// The process-wide [`SweepRunner`] every figure and binary shares.
+///
+/// Results persist under `target/vfc-cache/` (override the location with
+/// `VFC_CACHE_DIR`; set `VFC_RUNNER_CACHE=off` for a memory-only cache),
+/// and the worker count follows `available_parallelism` with a
+/// `VFC_RUNNER_THREADS` override.
+pub fn shared_runner() -> &'static SweepRunner {
+    static RUNNER: OnceLock<SweepRunner> = OnceLock::new();
+    RUNNER.get_or_init(|| {
+        let disk_cache = !matches!(
+            std::env::var("VFC_RUNNER_CACHE").as_deref(),
+            Ok("off" | "0" | "false")
+        );
+        if disk_cache {
+            SweepRunner::with_default_disk_cache()
+        } else {
+            SweepRunner::new()
+        }
+    })
+}
+
+/// Runs a batch of simulations, preserving input order.
+///
+/// Thin compatibility wrapper over [`shared_runner`]: jobs fan out over
+/// the work-stealing executor at full machine parallelism and cached
+/// cells are returned without simulating.
 ///
 /// # Panics
 ///
 /// Panics if any simulation fails — the harness treats model errors as
-/// fatal for reproducibility runs.
+/// fatal for reproducibility runs. Use [`SweepRunner::try_run`] for
+/// per-job error handling.
 pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimReport> {
-    let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
-    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; jobs.len()]);
-    let queue: Mutex<std::collections::VecDeque<(usize, SimConfig)>> =
-        Mutex::new(jobs.into_iter().collect());
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4)
-        .max(1);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().pop_front();
-                let Some((idx, cfg)) = job else { break };
-                let label = cfg.label();
-                let report = Simulation::new(cfg)
-                    .unwrap_or_else(|e| panic!("building {label}: {e}"))
-                    .run()
-                    .unwrap_or_else(|e| panic!("running {label}: {e}"));
-                results.lock()[idx] = Some(report);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+    shared_runner()
+        .run(configs)
+        .unwrap_or_else(|e| panic!("figure batch failed: {e}"))
 }
 
 /// Formats a ratio as the paper's normalized-energy numbers.
@@ -88,6 +90,14 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].workload, "gzip");
         assert_eq!(out[1].workload, "MPlayer");
+
+        // The wrapper routes through the shared cached runner: repeating
+        // the batch must not simulate anything new (whether the first
+        // pass executed or was itself served from a warm disk cache).
+        let executed_before = shared_runner().stats().executed;
+        let again = run_batch(vec![mk("gzip"), mk("MPlayer")]);
+        assert_eq!(again, out);
+        assert_eq!(shared_runner().stats().executed, executed_before);
     }
 
     #[test]

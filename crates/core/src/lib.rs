@@ -61,6 +61,7 @@
 //! | [`forecast`] | ARMA + SPRT |
 //! | [`control`] | characterization, LUT, flow controller |
 //! | [`sim`] | the co-simulation engine |
+//! | [`runner`] | sweep specs, work-stealing executor, result cache |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -75,6 +76,7 @@ pub use vfc_forecast as forecast;
 pub use vfc_liquid as liquid;
 pub use vfc_num as num;
 pub use vfc_power as power;
+pub use vfc_runner as runner;
 pub use vfc_sched as sched;
 pub use vfc_sim as sim;
 pub use vfc_thermal as thermal;
@@ -85,6 +87,7 @@ pub use vfc_workload as workload;
 pub mod prelude {
     pub use crate::experiment::{paper_policy_matrix, Experiment};
     pub use vfc_liquid::{FlowSetting, Pump};
+    pub use vfc_runner::{Executor, ResultCache, RunnerError, SweepRunner, SweepSpec};
     pub use vfc_sim::{CoolingKind, PolicyKind, SimConfig, SimReport, Simulation, SystemKind};
     pub use vfc_units::{Celsius, Energy, Length, Seconds, TemperatureDelta, Watts};
     pub use vfc_workload::{Benchmark, PhasedWorkload};

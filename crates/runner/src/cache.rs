@@ -1,0 +1,422 @@
+//! Content-addressed result cache: [`SimConfig::cache_key`] → [`SimReport`].
+//!
+//! Two tiers:
+//!
+//! * an **in-memory** map, always on — repeated cells inside one sweep
+//!   (or across sweeps sharing a [`SweepRunner`](crate::SweepRunner))
+//!   simulate once;
+//! * an optional **on-disk** store (default `target/vfc-cache/`): one
+//!   JSON file per key plus a human-browsable, append-only
+//!   `index.jsonl`, so separate processes — e.g. consecutive
+//!   `all_figures` runs — skip already-simulated cells.
+//!
+//! Disk entries are versioned ([`DISK_FORMAT_VERSION`]); an entry with
+//! an unknown version or a parse failure is treated as a miss and
+//! overwritten, never trusted. The config hash itself is versioned on
+//! the `vfc_sim` side, so engine changes invalidate old keys outright.
+//!
+//! [`SimConfig::cache_key`]: vfc_sim::SimConfig::cache_key
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use vfc_sim::SimReport;
+
+use crate::json::{string_member, u64_member, JsonCodec, JsonValue};
+use crate::RunnerError;
+
+/// Version stamp written into every on-disk entry and the index.
+pub const DISK_FORMAT_VERSION: u64 = 1;
+
+/// The default on-disk store location: `VFC_CACHE_DIR` if set, else
+/// `vfc-cache/` inside `CARGO_TARGET_DIR` if set, else
+/// `target/vfc-cache/` under the enclosing workspace root (found by
+/// walking up from the current directory to the nearest `Cargo.lock`).
+///
+/// Anchoring on the workspace root matters: `cargo test` runs each
+/// crate's tests from that crate's own directory, and a cwd-relative
+/// default would fragment the cache per launch directory (and litter
+/// unignored `target/` directories inside `crates/*`).
+pub fn default_cache_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("VFC_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Some(target) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("vfc-cache");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("target").join("vfc-cache");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target").join("vfc-cache");
+        }
+    }
+}
+
+/// One line of the on-disk `index.jsonl`: where a key came from, for
+/// humans browsing the cache.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheIndexEntry {
+    /// The config hash, as stored in the entry's filename.
+    pub key: u64,
+    /// `Policy (Cooling)` label of the cached run.
+    pub label: String,
+    /// System label.
+    pub system: String,
+    /// Workload name.
+    pub workload: String,
+}
+
+impl JsonCodec for CacheIndexEntry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "key".into(),
+                JsonValue::String(format!("{:016x}", self.key)),
+            ),
+            ("label".into(), JsonValue::String(self.label.clone())),
+            ("system".into(), JsonValue::String(self.system.clone())),
+            ("workload".into(), JsonValue::String(self.workload.clone())),
+        ])
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, RunnerError> {
+        let context = "CacheIndexEntry";
+        let key_hex = string_member(value, context, "key")?;
+        let key = u64::from_str_radix(&key_hex, 16).map_err(|_| RunnerError::Parse {
+            context: context.into(),
+            detail: format!("bad key `{key_hex}`"),
+        })?;
+        Ok(Self {
+            key,
+            label: string_member(value, context, "label")?,
+            system: string_member(value, context, "system")?,
+            workload: string_member(value, context, "workload")?,
+        })
+    }
+}
+
+/// The two-tier result cache. All methods are `&self` and thread-safe;
+/// the executor's workers share one instance.
+#[derive(Debug)]
+pub struct ResultCache {
+    memory: Mutex<HashMap<u64, SimReport>>,
+    disk: Option<DiskStore>,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl ResultCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        Self {
+            memory: Mutex::new(HashMap::new()),
+            disk: None,
+        }
+    }
+
+    /// A cache backed by a directory of JSON entries (created on first
+    /// store). Existing entries become visible immediately.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            memory: Mutex::new(HashMap::new()),
+            disk: Some(DiskStore::new(dir.into())),
+        }
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn has_disk_store(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Looks `key` up: memory first, then disk (promoting a disk hit
+    /// into memory). Disk corruption is a miss, not an error.
+    pub fn get(&self, key: u64) -> Option<SimReport> {
+        if let Some(hit) = self.memory.lock().get(&key).cloned() {
+            return Some(hit);
+        }
+        let disk_hit = self.disk.as_ref()?.load(key)?;
+        self.memory.lock().insert(key, disk_hit.clone());
+        Some(disk_hit)
+    }
+
+    /// Stores a freshly simulated report under `key`. Disk failures are
+    /// reported but non-fatal by design — the caller already holds the
+    /// result, and a read-only filesystem must not fail a sweep.
+    pub fn insert(&self, key: u64, report: &SimReport) -> Result<(), RunnerError> {
+        self.memory.lock().insert(key, report.clone());
+        match &self.disk {
+            Some(disk) => disk.store(key, report),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.memory.lock().len()
+    }
+
+    /// Whether the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.memory.lock().is_empty()
+    }
+}
+
+/// The on-disk tier: `<dir>/<key:016x>.json` per entry plus
+/// `<dir>/index.jsonl`.
+#[derive(Debug)]
+struct DiskStore {
+    dir: PathBuf,
+    /// Keeps this process's index appends whole-line ordered.
+    index_lock: Mutex<()>,
+}
+
+impl DiskStore {
+    fn new(dir: PathBuf) -> Self {
+        Self {
+            dir,
+            index_lock: Mutex::new(()),
+        }
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.dir.join("index.jsonl")
+    }
+
+    fn load(&self, key: u64) -> Option<SimReport> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let doc = JsonValue::parse(&text).ok()?;
+        if u64_member(&doc, "cache entry", "version").ok()? != DISK_FORMAT_VERSION {
+            return None;
+        }
+        if u64::from_str_radix(&string_member(&doc, "cache entry", "key").ok()?, 16).ok()? != key {
+            return None;
+        }
+        SimReport::from_json(doc.get("report")?).ok()
+    }
+
+    fn store(&self, key: u64, report: &SimReport) -> Result<(), RunnerError> {
+        std::fs::create_dir_all(&self.dir).map_err(|source| RunnerError::Io {
+            context: format!("creating cache dir {}", self.dir.display()),
+            source,
+        })?;
+        let doc = JsonValue::Object(vec![
+            (
+                "version".into(),
+                JsonValue::Number(DISK_FORMAT_VERSION as f64),
+            ),
+            ("key".into(), JsonValue::String(format!("{key:016x}"))),
+            ("report".into(), report.to_json()),
+        ]);
+        write_atomically(&self.entry_path(key), &doc.encode())?;
+        self.append_to_index(CacheIndexEntry {
+            key,
+            label: report.label.clone(),
+            system: report.system.clone(),
+            workload: report.workload.clone(),
+        })
+    }
+
+    /// Appends one JSONL line per new key — O(1) per store (no
+    /// read-modify-write of the whole index), and `O_APPEND` keeps
+    /// concurrent processes from clobbering each other's lines.
+    fn append_to_index(&self, entry: CacheIndexEntry) -> Result<(), RunnerError> {
+        let _guard = self.index_lock.lock();
+        let mut doc = match entry.to_json() {
+            JsonValue::Object(members) => members,
+            _ => unreachable!("index entries encode as objects"),
+        };
+        doc.insert(
+            0,
+            ("v".into(), JsonValue::Number(DISK_FORMAT_VERSION as f64)),
+        );
+        let line = format!("{}\n", JsonValue::Object(doc).encode());
+        let path = self.index_path();
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .map_err(|source| RunnerError::Io {
+                context: format!("appending to {}", path.display()),
+                source,
+            })
+    }
+
+    /// Reads the index, deduplicating repeated keys and skipping
+    /// unparsable or version-mismatched lines.
+    #[cfg(test)]
+    fn read_index(&self) -> Vec<CacheIndexEntry> {
+        let Ok(text) = std::fs::read_to_string(self.index_path()) else {
+            return Vec::new();
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let Ok(doc) = JsonValue::parse(line) else {
+                continue;
+            };
+            if u64_member(&doc, "cache index", "v").ok() != Some(DISK_FORMAT_VERSION) {
+                continue;
+            }
+            let Ok(entry) = CacheIndexEntry::from_json(&doc) else {
+                continue;
+            };
+            if seen.insert(entry.key) {
+                entries.push(entry);
+            }
+        }
+        entries
+    }
+}
+
+/// Writes via a sibling temp file + rename so concurrent readers never
+/// observe a half-written entry. The temp name carries the pid and a
+/// process-wide counter so concurrent writers (even of the same key)
+/// never truncate each other's in-flight temp file.
+fn write_atomically(path: &Path, contents: &str) -> Result<(), RunnerError> {
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    let io_err =
+        |context: String| move |source: std::io::Error| RunnerError::Io { context, source };
+    {
+        let mut f =
+            std::fs::File::create(&tmp).map_err(io_err(format!("creating {}", tmp.display())))?;
+        f.write_all(contents.as_bytes())
+            .map_err(io_err(format!("writing {}", tmp.display())))?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err(format!("renaming to {}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_units::{Celsius, Energy, Seconds};
+
+    fn report(label: &str) -> SimReport {
+        SimReport {
+            label: label.into(),
+            system: "2-layer".into(),
+            workload: "gzip".into(),
+            duration: Seconds::new(8.0),
+            samples: 80,
+            hot_spot_pct: 0.0,
+            above_target_pct: 0.0,
+            gradient_pct: 1.0,
+            gradient_minor_pct: 2.0,
+            cycle_pct: 0.0,
+            cycle_minor_pct: 0.0,
+            chip_energy: Energy::new(100.0),
+            pump_energy: Energy::new(50.0),
+            completed_threads: 10,
+            throughput: 1.25,
+            migrations: 0,
+            mean_temperature: Celsius::new(65.0),
+            max_temperature: Celsius::new(70.0),
+            controller_switches: 0,
+            forecast_mae: None,
+            predictor_refits: 0,
+            mean_flow_setting: None,
+            tmax_series: None,
+            flow_series: None,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vfc-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_cache_round_trip() {
+        let cache = ResultCache::in_memory();
+        assert!(cache.get(1).is_none());
+        cache.insert(1, &report("a")).unwrap();
+        assert_eq!(cache.get(1).unwrap().label, "a");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_cache_survives_a_new_instance() {
+        let dir = temp_dir("persist");
+        {
+            let cache = ResultCache::on_disk(&dir);
+            cache.insert(0xfeed, &report("persisted")).unwrap();
+            cache.insert(0xbeef, &report("other")).unwrap();
+        }
+        let fresh = ResultCache::on_disk(&dir);
+        assert_eq!(fresh.get(0xfeed).unwrap().label, "persisted");
+        assert!(fresh.get(0xdead).is_none());
+        // The index lists both entries, in store order.
+        let entries = fresh.disk.as_ref().unwrap().read_index();
+        assert_eq!(
+            entries.iter().map(|e| e.key).collect::<Vec<_>>(),
+            vec![0xfeed, 0xbeef]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::on_disk(&dir);
+        cache.insert(7, &report("ok")).unwrap();
+        std::fs::write(dir.join(format!("{:016x}.json", 7)), "{not json").unwrap();
+        let fresh = ResultCache::on_disk(&dir);
+        assert!(fresh.get(7).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_skips_bad_lines_and_duplicate_keys() {
+        let dir = temp_dir("index");
+        let cache = ResultCache::on_disk(&dir);
+        cache.insert(1, &report("one")).unwrap();
+        let disk = cache.disk.as_ref().unwrap();
+        // A concurrent process re-storing the same key, plus a torn line.
+        disk.append_to_index(CacheIndexEntry {
+            key: 1,
+            label: "dup".into(),
+            system: "2-layer".into(),
+            workload: "gzip".into(),
+        })
+        .unwrap();
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("index.jsonl"))
+            .unwrap()
+            .write_all(b"{\"torn\n")
+            .unwrap();
+        let entries = disk.read_index();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].label, "one", "first store wins");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_entry_codec_round_trips() {
+        let e = CacheIndexEntry {
+            key: 0x0123_4567_89ab_cdef,
+            label: "TALB (Var)".into(),
+            system: "4-layer".into(),
+            workload: "Web-med".into(),
+        };
+        let back =
+            CacheIndexEntry::from_json(&JsonValue::parse(&e.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,216 @@
+//! [`JsonCodec`] implementation for [`SimReport`].
+//!
+//! Field-by-field and explicit on purpose: the encoding is the on-disk
+//! cache format, so adding a `SimReport` field without extending this
+//! codec fails the runner's round-trip test instead of silently dropping
+//! data.
+
+use vfc_sim::SimReport;
+use vfc_units::{Celsius, Energy, Seconds};
+
+use crate::json::{
+    f64_member, member, mistyped, number, string_member, u64_member, JsonCodec, JsonValue,
+};
+use crate::RunnerError;
+
+const CONTEXT: &str = "SimReport";
+
+impl JsonCodec for SimReport {
+    fn to_json(&self) -> JsonValue {
+        let mut members: Vec<(String, JsonValue)> = vec![
+            ("label".into(), JsonValue::String(self.label.clone())),
+            ("system".into(), JsonValue::String(self.system.clone())),
+            ("workload".into(), JsonValue::String(self.workload.clone())),
+            ("duration_s".into(), number(self.duration.value())),
+            ("samples".into(), number(self.samples as f64)),
+            ("hot_spot_pct".into(), number(self.hot_spot_pct)),
+            ("above_target_pct".into(), number(self.above_target_pct)),
+            ("gradient_pct".into(), number(self.gradient_pct)),
+            ("gradient_minor_pct".into(), number(self.gradient_minor_pct)),
+            ("cycle_pct".into(), number(self.cycle_pct)),
+            ("cycle_minor_pct".into(), number(self.cycle_minor_pct)),
+            ("chip_energy_j".into(), number(self.chip_energy.value())),
+            ("pump_energy_j".into(), number(self.pump_energy.value())),
+            (
+                "completed_threads".into(),
+                number(self.completed_threads as f64),
+            ),
+            ("throughput".into(), number(self.throughput)),
+            ("migrations".into(), number(self.migrations as f64)),
+            (
+                "mean_temperature_c".into(),
+                number(self.mean_temperature.value()),
+            ),
+            (
+                "max_temperature_c".into(),
+                number(self.max_temperature.value()),
+            ),
+            (
+                "controller_switches".into(),
+                number(self.controller_switches as f64),
+            ),
+            ("forecast_mae".into(), option_number(self.forecast_mae)),
+            (
+                "predictor_refits".into(),
+                number(self.predictor_refits as f64),
+            ),
+            (
+                "mean_flow_setting".into(),
+                option_number(self.mean_flow_setting),
+            ),
+        ];
+        members.push((
+            "tmax_series".into(),
+            match &self.tmax_series {
+                None => JsonValue::Null,
+                Some(s) => JsonValue::Array(s.iter().map(|&x| number(x)).collect()),
+            },
+        ));
+        members.push((
+            "flow_series".into(),
+            match &self.flow_series {
+                None => JsonValue::Null,
+                Some(s) => JsonValue::Array(s.iter().map(|&x| number(f64::from(x))).collect()),
+            },
+        ));
+        JsonValue::Object(members)
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, RunnerError> {
+        Ok(SimReport {
+            label: string_member(value, CONTEXT, "label")?,
+            system: string_member(value, CONTEXT, "system")?,
+            workload: string_member(value, CONTEXT, "workload")?,
+            duration: Seconds::new(f64_member(value, CONTEXT, "duration_s")?),
+            samples: u64_member(value, CONTEXT, "samples")? as usize,
+            hot_spot_pct: f64_member(value, CONTEXT, "hot_spot_pct")?,
+            above_target_pct: f64_member(value, CONTEXT, "above_target_pct")?,
+            gradient_pct: f64_member(value, CONTEXT, "gradient_pct")?,
+            gradient_minor_pct: f64_member(value, CONTEXT, "gradient_minor_pct")?,
+            cycle_pct: f64_member(value, CONTEXT, "cycle_pct")?,
+            cycle_minor_pct: f64_member(value, CONTEXT, "cycle_minor_pct")?,
+            chip_energy: Energy::new(f64_member(value, CONTEXT, "chip_energy_j")?),
+            pump_energy: Energy::new(f64_member(value, CONTEXT, "pump_energy_j")?),
+            completed_threads: u64_member(value, CONTEXT, "completed_threads")?,
+            throughput: f64_member(value, CONTEXT, "throughput")?,
+            migrations: u64_member(value, CONTEXT, "migrations")?,
+            mean_temperature: Celsius::new(f64_member(value, CONTEXT, "mean_temperature_c")?),
+            max_temperature: Celsius::new(f64_member(value, CONTEXT, "max_temperature_c")?),
+            controller_switches: u64_member(value, CONTEXT, "controller_switches")?,
+            forecast_mae: option_f64(value, "forecast_mae")?,
+            predictor_refits: u64_member(value, CONTEXT, "predictor_refits")?,
+            mean_flow_setting: option_f64(value, "mean_flow_setting")?,
+            tmax_series: match member(value, CONTEXT, "tmax_series")? {
+                JsonValue::Null => None,
+                v => Some(
+                    typed_array(v, "tmax_series")?
+                        .iter()
+                        .map(|x| {
+                            x.as_f64()
+                                .ok_or_else(|| mistyped(CONTEXT, "tmax_series", "number"))
+                        })
+                        .collect::<Result<Vec<f64>, _>>()?,
+                ),
+            },
+            flow_series: match member(value, CONTEXT, "flow_series")? {
+                JsonValue::Null => None,
+                v => Some(
+                    typed_array(v, "flow_series")?
+                        .iter()
+                        .map(|x| {
+                            x.as_u64()
+                                .filter(|&n| n <= u64::from(u8::MAX))
+                                .map(|n| n as u8)
+                                .ok_or_else(|| mistyped(CONTEXT, "flow_series", "byte"))
+                        })
+                        .collect::<Result<Vec<u8>, _>>()?,
+                ),
+            },
+        })
+    }
+}
+
+fn option_number(x: Option<f64>) -> JsonValue {
+    match x {
+        None => JsonValue::Null,
+        Some(n) => number(n),
+    }
+}
+
+fn option_f64(value: &JsonValue, key: &str) -> Result<Option<f64>, RunnerError> {
+    match member(value, CONTEXT, key)? {
+        JsonValue::Null => Ok(None),
+        v => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| mistyped(CONTEXT, key, "number")),
+    }
+}
+
+fn typed_array<'v>(v: &'v JsonValue, key: &str) -> Result<&'v [JsonValue], RunnerError> {
+    v.as_array().ok_or_else(|| mistyped(CONTEXT, key, "array"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            label: "TALB (Var)".into(),
+            system: "2-layer".into(),
+            workload: "gzip".into(),
+            duration: Seconds::new(30.0),
+            samples: 300,
+            hot_spot_pct: 0.0,
+            above_target_pct: 0.5,
+            gradient_pct: 1.25,
+            gradient_minor_pct: 2.5,
+            cycle_pct: 0.1,
+            cycle_minor_pct: 0.4,
+            chip_energy: Energy::new(1800.123456789),
+            pump_energy: Energy::new(750.0),
+            completed_threads: 500,
+            throughput: 8.3333333333,
+            migrations: 3,
+            mean_temperature: Celsius::new(68.04),
+            max_temperature: Celsius::new(74.99),
+            controller_switches: 4,
+            forecast_mae: Some(0.0517),
+            predictor_refits: 1,
+            mean_flow_setting: Some(0.3),
+            tmax_series: Some(vec![68.0, 68.5, 69.0123]),
+            flow_series: Some(vec![4, 3, 3]),
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_identically() {
+        let r = report();
+        let text = r.to_json().encode();
+        let back = SimReport::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn roundtrips_empty_options() {
+        let mut r = report();
+        r.forecast_mae = None;
+        r.mean_flow_setting = None;
+        r.tmax_series = None;
+        r.flow_series = None;
+        let back = SimReport::from_json(&JsonValue::parse(&r.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn missing_member_is_an_error() {
+        let mut doc = match report().to_json() {
+            JsonValue::Object(members) => members,
+            _ => unreachable!(),
+        };
+        doc.retain(|(k, _)| k != "throughput");
+        let err = SimReport::from_json(&JsonValue::Object(doc)).unwrap_err();
+        assert!(err.to_string().contains("throughput"), "{err}");
+    }
+}

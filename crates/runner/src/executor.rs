@@ -1,0 +1,285 @@
+//! The work-stealing job executor.
+//!
+//! Replaces the old single-mutex batch queue: each worker owns a deque
+//! of jobs and, when it drains, steals from the back of its neighbours'
+//! deques — contention stays off the common path, and long jobs at the
+//! front of one deque no longer serialize the whole batch behind one
+//! lock. Results come back in input order, one `Result` per job; a
+//! failing (or even panicking) job poisons nothing but its own slot.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::RunnerError;
+
+/// Name of the environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "VFC_RUNNER_THREADS";
+
+/// A progress snapshot handed to the callback after every completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Jobs finished so far (including failures).
+    pub completed: usize,
+    /// Total jobs in this batch.
+    pub total: usize,
+}
+
+/// The executor. Cheap to construct; holds no threads between runs
+/// (workers are scoped to one [`Executor::run`] call).
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// An executor sized to the machine: `VFC_RUNNER_THREADS` if set to
+    /// a positive integer, otherwise the full
+    /// `std::thread::available_parallelism` — the old harness's
+    /// hard-coded `.min(4)` cap is gone.
+    pub fn new() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// An executor with an explicit worker count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count this executor will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job` over every input, returning per-job results in input
+    /// order.
+    pub fn run<I, T, F>(&self, inputs: Vec<I>, job: F) -> Vec<Result<T, RunnerError>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> Result<T, RunnerError> + Sync,
+    {
+        self.run_with_progress(inputs, job, |_| {})
+    }
+
+    /// [`Executor::run`] with a callback invoked after every completed
+    /// job (from worker threads — keep it cheap and thread-safe).
+    pub fn run_with_progress<I, T, F, P>(
+        &self,
+        inputs: Vec<I>,
+        job: F,
+        progress: P,
+    ) -> Vec<Result<T, RunnerError>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> Result<T, RunnerError> + Sync,
+        P: Fn(Progress) + Sync,
+    {
+        let total = inputs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(total);
+
+        // Seed per-worker deques with contiguous chunks (input order is
+        // restored by index on collection, so the split only affects
+        // locality). Chunks are ceil-sized; the tail workers may own one
+        // job less.
+        let chunk = total.div_ceil(workers);
+        let mut deques: Vec<Mutex<VecDeque<(usize, I)>>> = Vec::with_capacity(workers);
+        let mut inputs = inputs.into_iter().enumerate();
+        for _ in 0..workers {
+            deques.push(Mutex::new(inputs.by_ref().take(chunk).collect()));
+        }
+
+        let slots: Vec<Mutex<Option<Result<T, RunnerError>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let completed = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let deques = &deques;
+                let slots = &slots;
+                let job = &job;
+                let progress = &progress;
+                let completed = &completed;
+                scope.spawn(move || loop {
+                    // Own deque front first; steal from neighbours' backs
+                    // once it drains. No new jobs appear mid-run, so a
+                    // worker that sees every deque empty can retire.
+                    let next = deques[me].lock().pop_front().or_else(|| {
+                        (1..workers)
+                            .find_map(|offset| deques[(me + offset) % workers].lock().pop_back())
+                    });
+                    let Some((idx, input)) = next else { break };
+                    let result = match std::panic::catch_unwind(AssertUnwindSafe(|| job(input))) {
+                        Ok(r) => r,
+                        Err(payload) => Err(RunnerError::JobPanicked {
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    };
+                    *slots[idx].lock() = Some(result);
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress(Progress {
+                        completed: done,
+                        total,
+                    });
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every job ran exactly once before the scope joined")
+            })
+            .collect()
+    }
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let ex = Executor::with_threads(3);
+        let out = ex.run((0..64).collect(), |i: i32| Ok(i * 2));
+        let values: Vec<i32> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn errors_stay_in_their_slot() {
+        let ex = Executor::with_threads(2);
+        let out = ex.run((0..8).collect(), |i: usize| {
+            if i % 3 == 0 {
+                Err(RunnerError::JobPanicked {
+                    message: format!("job {i}"),
+                })
+            } else {
+                Ok(i)
+            }
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(
+                    matches!(r, Err(RunnerError::JobPanicked { message }) if message == &format!("job {i}"))
+                );
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_jobs_become_errors_not_process_aborts() {
+        let ex = Executor::with_threads(2);
+        let out = ex.run(vec![1, 2, 3], |i: i32| {
+            if i == 2 {
+                panic!("boom {i}");
+            }
+            Ok(i)
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        assert!(
+            matches!(&out[1], Err(RunnerError::JobPanicked { message }) if message.contains("boom"))
+        );
+        assert_eq!(*out[2].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_busy_ones() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Worker 0's deque is seeded {0, 1}; job 0 refuses to finish
+        // until job 1 has run. Own-deque pops are FIFO, so job 1 can only
+        // run before job 0 completes if another worker steals it — the
+        // batch finishing without the timeout proves the steal, without
+        // racing wall-clock sleeps against thread-spawn order.
+        let stolen_ran = AtomicBool::new(false);
+        let ex = Executor::with_threads(2);
+        let out = ex.run((0..4).collect(), |i: usize| {
+            match i {
+                0 => {
+                    let start = std::time::Instant::now();
+                    while !stolen_ran.load(Ordering::Acquire) {
+                        if start.elapsed() > Duration::from_secs(30) {
+                            return Err(RunnerError::JobPanicked {
+                                message: "job 1 was never stolen".into(),
+                            });
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+                1 => stolen_ran.store(true, Ordering::Release),
+                _ => {}
+            }
+            Ok(i)
+        });
+        for r in &out {
+            assert!(r.is_ok(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_completion() {
+        let ex = Executor::with_threads(2);
+        let seen = Mutex::new(Vec::new());
+        let out =
+            ex.run_with_progress((0..10).collect(), |i: usize| Ok(i), |p| seen.lock().push(p));
+        assert_eq!(out.len(), 10);
+        let mut seen = seen.into_inner();
+        seen.sort_by_key(|p| p.completed);
+        assert_eq!(seen.len(), 10);
+        assert_eq!(
+            seen[9],
+            Progress {
+                completed: 10,
+                total: 10
+            }
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ex = Executor::new();
+        let out: Vec<Result<(), _>> = ex.run(Vec::<u32>::new(), |_| Ok(()));
+        assert!(out.is_empty());
+    }
+}

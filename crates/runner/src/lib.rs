@@ -1,0 +1,380 @@
+//! # vfc_runner — the simulation-sweep engine
+//!
+//! The paper's evaluation (Fig. 6–8, Table III, the per-workload TALB
+//! savings) is a sweep: configurations × policies × workloads, each cell
+//! one [`Simulation`] run. This crate is the
+//! subsystem that executes such sweeps at scale, replacing the old
+//! hand-rolled 4-thread mutex queue in `vfc_bench`:
+//!
+//! * [`SweepSpec`] — declare the axes (systems × cooling kinds ×
+//!   policies × workloads × seeds × grid cells), filter the product,
+//!   expand to concrete [`SimConfig`]s;
+//! * [`Executor`] — a work-stealing thread pool (per-worker deques,
+//!   full `available_parallelism` by default, `VFC_RUNNER_THREADS`
+//!   override) returning a `Result` per job instead of panicking, with
+//!   progress callbacks;
+//! * [`ResultCache`] — content-addressed results keyed by
+//!   [`SimConfig::cache_key`], in memory and optionally on disk
+//!   (`target/vfc-cache/`), so re-running `all_figures` or a sweep
+//!   skips every already-simulated cell;
+//! * [`SweepRunner`] — the front door combining all three.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vfc_runner::{SweepRunner, SweepSpec};
+//! use vfc_sim::{CoolingKind, PolicyKind};
+//!
+//! let runner = SweepRunner::with_default_disk_cache();
+//! let reports = runner
+//!     .run_spec(
+//!         &SweepSpec::new()
+//!             .coolings([CoolingKind::LiquidMax, CoolingKind::LiquidVariable])
+//!             .policies([PolicyKind::Talb])
+//!             .seeds(0..4),
+//!     )
+//!     .unwrap();
+//! let stats = runner.stats();
+//! println!("{} runs, {} from cache", reports.len(), stats.cache_hits);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod codec;
+mod error;
+mod executor;
+pub mod json;
+mod spec;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vfc_sim::{SimConfig, SimReport, Simulation};
+
+pub use self::cache::{default_cache_dir, CacheIndexEntry, ResultCache, DISK_FORMAT_VERSION};
+pub use self::error::RunnerError;
+pub use self::executor::{Executor, Progress, THREADS_ENV};
+pub use self::spec::SweepSpec;
+
+/// Counters accumulated across every sweep a [`SweepRunner`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Jobs submitted (after spec filtering).
+    pub jobs: u64,
+    /// Jobs answered from the cache without simulating.
+    pub cache_hits: u64,
+    /// Jobs that actually simulated.
+    pub executed: u64,
+    /// Jobs that returned an error.
+    pub failures: u64,
+}
+
+impl SweepStats {
+    /// Cache hits as a fraction of all jobs (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// Executes sweeps: expansion → cache lookup → (work-stealing) parallel
+/// simulation → cache store. One instance can serve many sweeps and its
+/// in-memory cache carries over between them, so overlapping studies
+/// (Fig. 6 and Fig. 8 share five of seven matrix rows) simulate each
+/// distinct cell once.
+#[derive(Debug)]
+pub struct SweepRunner {
+    executor: Executor,
+    cache: ResultCache,
+    jobs: AtomicU64,
+    cache_hits: AtomicU64,
+    executed: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with a machine-sized executor and an in-memory cache.
+    pub fn new() -> Self {
+        Self::with_parts(Executor::new(), ResultCache::in_memory())
+    }
+
+    /// A runner whose cache also persists to
+    /// [`default_cache_dir`] (`target/vfc-cache/`, or `VFC_CACHE_DIR`).
+    pub fn with_default_disk_cache() -> Self {
+        Self::with_parts(Executor::new(), ResultCache::on_disk(default_cache_dir()))
+    }
+
+    /// A runner from an explicit executor and cache.
+    pub fn with_parts(executor: Executor, cache: ResultCache) -> Self {
+        Self {
+            executor,
+            cache,
+            jobs: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying executor.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Expands `spec` and runs every cell, returning the first error if
+    /// any cell failed (the whole batch still executes — there is no
+    /// mid-sweep cancellation; use [`SweepRunner::try_run`] to see every
+    /// cell's outcome).
+    ///
+    /// # Errors
+    ///
+    /// [`RunnerError::EmptySweep`] if the spec expands to nothing;
+    /// otherwise the first failing cell's error.
+    pub fn run_spec(&self, spec: &SweepSpec) -> Result<Vec<SimReport>, RunnerError> {
+        let configs = spec.expand();
+        if configs.is_empty() {
+            return Err(RunnerError::EmptySweep);
+        }
+        self.run(configs)
+    }
+
+    /// Runs a batch of configurations, in input order, returning the
+    /// first error if any cell failed. The whole batch still executes;
+    /// successful cells land in the cache either way.
+    ///
+    /// # Errors
+    ///
+    /// The first failing cell's error.
+    pub fn run(&self, configs: Vec<SimConfig>) -> Result<Vec<SimReport>, RunnerError> {
+        self.try_run(configs).into_iter().collect()
+    }
+
+    /// Runs a batch of configurations, returning one `Result` per cell
+    /// in input order — failed cells don't take the batch down.
+    pub fn try_run(&self, configs: Vec<SimConfig>) -> Vec<Result<SimReport, RunnerError>> {
+        self.try_run_with_progress(configs, |_| {})
+    }
+
+    /// [`SweepRunner::try_run`] with a per-completion progress callback.
+    pub fn try_run_with_progress(
+        &self,
+        configs: Vec<SimConfig>,
+        progress: impl Fn(Progress) + Sync,
+    ) -> Vec<Result<SimReport, RunnerError>> {
+        let total = configs.len();
+        self.jobs.fetch_add(total as u64, Ordering::Relaxed);
+
+        // Dedupe identical cells in flight: only the first occurrence of
+        // each cache key simulates; repeats are served from the cache
+        // afterwards, so a batch never runs the same simulation twice
+        // concurrently (which would also race on the disk store).
+        let keys: Vec<u64> = configs.iter().map(SimConfig::cache_key).collect();
+        let mut seen = std::collections::HashSet::with_capacity(total);
+        let mut primaries: Vec<(usize, SimConfig)> = Vec::with_capacity(total);
+        let mut repeats: Vec<(usize, SimConfig)> = Vec::new();
+        for (i, cfg) in configs.into_iter().enumerate() {
+            if seen.insert(keys[i]) {
+                primaries.push((i, cfg));
+            } else {
+                repeats.push((i, cfg));
+            }
+        }
+
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let tick = |p: &dyn Fn(Progress)| {
+            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            p(Progress { completed, total });
+        };
+        let primary_indices: Vec<usize> = primaries.iter().map(|&(i, _)| i).collect();
+        let primary_results = self.executor.run_with_progress(
+            primaries,
+            |(_, cfg)| self.run_one(cfg),
+            |_| tick(&progress),
+        );
+
+        let mut slots: Vec<Option<Result<SimReport, RunnerError>>> =
+            (0..total).map(|_| None).collect();
+        for (slot, result) in primary_indices.into_iter().zip(primary_results) {
+            slots[slot] = Some(result);
+        }
+        for (i, cfg) in repeats {
+            let result = match self.cache.get(keys[i]) {
+                Some(report) => {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    Ok(report)
+                }
+                // The primary occurrence failed; retry this slot for a
+                // genuine per-slot error (and a second chance).
+                None => self.run_one(cfg),
+            };
+            slots[i] = Some(result);
+            tick(&progress);
+        }
+
+        let results: Vec<Result<SimReport, RunnerError>> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled exactly once"))
+            .collect();
+        self.failures.fetch_add(
+            results.iter().filter(|r| r.is_err()).count() as u64,
+            Ordering::Relaxed,
+        );
+        results
+    }
+
+    /// One cell: cache lookup, else simulate and store.
+    fn run_one(&self, cfg: SimConfig) -> Result<SimReport, RunnerError> {
+        let key = cfg.cache_key();
+        if let Some(report) = self.cache.get(key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report);
+        }
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let label = cfg.label();
+        let report = Simulation::new(cfg)
+            .and_then(Simulation::run)
+            .map_err(|source| RunnerError::Sim {
+                label: label.clone(),
+                source,
+            })?;
+        // Best-effort: a full disk or read-only checkout must not fail
+        // the sweep — the result is already in hand (and in memory).
+        if let Err(e) = self.cache.insert(key, &report) {
+            eprintln!("vfc_runner: cache store failed ({e}); continuing uncached");
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use vfc_sim::{CoolingKind, PolicyKind};
+    use vfc_units::{Length, Seconds};
+    use vfc_workload::Benchmark;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new()
+            .coolings([CoolingKind::LiquidMax])
+            .policies([PolicyKind::LoadBalancing])
+            .benchmarks([Benchmark::by_name("gzip").unwrap()])
+            .duration(Seconds::new(2.0))
+            .grid_cells([Length::from_millimeters(2.0)])
+    }
+
+    #[test]
+    fn same_config_and_seed_is_bit_identical() {
+        // Determinism underwrites the whole cache design: two fresh
+        // simulations of one config must agree exactly.
+        let cfg = tiny_spec().expand().remove(0);
+        let a = Simulation::new(cfg.clone()).unwrap().run().unwrap();
+        let b = Simulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_hit_provably_skips_simulation() {
+        let runner = SweepRunner::new();
+        let first = runner.run_spec(&tiny_spec()).unwrap();
+        let stats = runner.stats();
+        assert_eq!((stats.jobs, stats.cache_hits, stats.executed), (1, 0, 1));
+
+        let second = runner.run_spec(&tiny_spec()).unwrap();
+        let stats = runner.stats();
+        assert_eq!(
+            (stats.jobs, stats.cache_hits, stats.executed),
+            (2, 1, 1),
+            "second pass must not simulate"
+        );
+        assert_eq!(first, second);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_cache_spans_runner_instances() {
+        let dir = std::env::temp_dir().join(format!("vfc-runner-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = {
+            let runner = SweepRunner::with_parts(Executor::new(), ResultCache::on_disk(&dir));
+            runner.run_spec(&tiny_spec()).unwrap()
+        };
+        let runner = SweepRunner::with_parts(Executor::new(), ResultCache::on_disk(&dir));
+        let second = runner.run_spec(&tiny_spec()).unwrap();
+        let stats = runner.stats();
+        assert_eq!(stats.executed, 0, "fresh process reuses the disk entry");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(first, second, "disk round-trip is bit-identical");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_cells_in_one_batch_simulate_once() {
+        let runner = SweepRunner::new();
+        let cfg = tiny_spec().expand().remove(0);
+        let out = runner.try_run(vec![cfg.clone(), cfg]);
+        assert_eq!(out[0].as_ref().unwrap(), out[1].as_ref().unwrap());
+        let stats = runner.stats();
+        assert_eq!(
+            (stats.jobs, stats.executed, stats.cache_hits),
+            (2, 1, 1),
+            "the repeat must be served from cache, not re-simulated"
+        );
+    }
+
+    #[test]
+    fn invalid_cells_fail_their_slot_only() {
+        let good = tiny_spec().expand().remove(0);
+        let bad = good.clone().with_duration(Seconds::ZERO);
+        let runner = SweepRunner::new();
+        let out = runner.try_run(vec![bad, good]);
+        assert!(matches!(&out[0], Err(RunnerError::Sim { .. })));
+        assert!(out[1].is_ok());
+        assert_eq!(runner.stats().failures, 1);
+    }
+
+    #[test]
+    fn distinct_seeds_are_distinct_cells() {
+        let runner = SweepRunner::new();
+        let reports = runner.run_spec(&tiny_spec().seeds([1, 2])).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(runner.stats().executed, 2, "no false cache sharing");
+    }
+
+    #[test]
+    fn progress_fires_once_per_cell() {
+        let runner = SweepRunner::new();
+        let count = AtomicUsize::new(0);
+        let out = runner.try_run_with_progress(tiny_spec().seeds([1, 2]).expand(), |p| {
+            count.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(p.total, 2);
+        });
+        assert_eq!(out.len(), 2);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

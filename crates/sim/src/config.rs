@@ -243,6 +243,91 @@ impl SimConfig {
     pub fn label(&self) -> String {
         format!("{} ({})", self.policy.label(), self.cooling.label())
     }
+
+    /// A stable 64-bit content hash of this configuration, suitable as a
+    /// result-cache key (`vfc_runner` maps it to a cached
+    /// [`SimReport`](crate::SimReport)).
+    ///
+    /// Properties:
+    ///
+    /// * **Deterministic across processes and machines** — FNV-1a over a
+    ///   canonical encoding, no per-process hasher randomization.
+    /// * **Independent of field order** — every field is hashed as a
+    ///   `name = value` pair and the pairs are combined in sorted-name
+    ///   order, so reordering the struct declaration (or this method's
+    ///   field list) leaves keys unchanged.
+    /// * **Sensitive to every axis** — any change to any field (seed,
+    ///   grid cell, pump model, thresholds, …) produces a different key.
+    ///
+    /// Keys are versioned via an internal constant that is bumped when
+    /// engine changes alter the report an identical configuration
+    /// produces, invalidating stale on-disk caches.
+    pub fn cache_key(&self) -> u64 {
+        use crate::cache_key::{combine_fields, hash_field};
+        // Exhaustive destructuring (no `..`): adding a `SimConfig` field
+        // without hashing it below becomes a compile error instead of a
+        // silent stale-cache-hit bug.
+        let Self {
+            system,
+            cooling,
+            policy,
+            workload,
+            duration,
+            seed,
+            grid_cell,
+            dpm,
+            sampling_interval,
+            scheduler_tick,
+            thermal_substeps,
+            hot_spot_threshold,
+            target_temperature,
+            gradient_threshold,
+            cycle_threshold,
+            hysteresis,
+            control_margin,
+            proactive,
+            record_series,
+            power,
+            leakage,
+            pump,
+            thermal,
+        } = self;
+        // Hash each field through its (exact, round-trippable) debug
+        // representation; `f64`'s `Debug` prints the shortest string that
+        // parses back to the same bits, so distinct values never collide
+        // on formatting.
+        macro_rules! fields {
+            ($($name:ident),+ $(,)?) => {
+                [$((stringify!($name), hash_field(stringify!($name), &format!("{:?}", $name)))),+]
+            };
+        }
+        let mut fields = fields![
+            system,
+            cooling,
+            policy,
+            workload,
+            duration,
+            seed,
+            grid_cell,
+            dpm,
+            sampling_interval,
+            scheduler_tick,
+            thermal_substeps,
+            hot_spot_threshold,
+            target_temperature,
+            gradient_threshold,
+            cycle_threshold,
+            hysteresis,
+            control_margin,
+            proactive,
+            record_series,
+            power,
+            leakage,
+            pump,
+            thermal,
+        ];
+        combine_fields(&mut fields)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +360,89 @@ mod tests {
         assert!(SystemKind::TwoLayer.stack(true).is_liquid_cooled());
         assert!(!SystemKind::FourLayer.stack(false).is_liquid_cooled());
         assert_eq!(SystemKind::FourLayer.stack(true).core_count(), 16);
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_axis_sensitive() {
+        let base = || {
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidVariable,
+                PolicyKind::Talb,
+                Benchmark::by_name("gzip").unwrap(),
+            )
+        };
+        // Two identically built configs agree, independent of builder
+        // call order.
+        let a = base().with_seed(7).with_dpm(true);
+        let b = base().with_dpm(true).with_seed(7);
+        assert_eq!(a.cache_key(), b.cache_key());
+
+        // Every axis perturbs the key.
+        let k0 = base().cache_key();
+        let variants = [
+            base().with_seed(43).cache_key(),
+            base().with_duration(Seconds::new(59.0)).cache_key(),
+            base()
+                .with_grid_cell(Length::from_millimeters(2.0))
+                .cache_key(),
+            base().with_dpm(true).cache_key(),
+            base().with_proactive(false).cache_key(),
+            base().with_series(true).cache_key(),
+            base()
+                .with_hysteresis(TemperatureDelta::new(3.0))
+                .cache_key(),
+            SimConfig::new(
+                SystemKind::FourLayer,
+                CoolingKind::LiquidVariable,
+                PolicyKind::Talb,
+                Benchmark::by_name("gzip").unwrap(),
+            )
+            .cache_key(),
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidMax,
+                PolicyKind::Talb,
+                Benchmark::by_name("gzip").unwrap(),
+            )
+            .cache_key(),
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidVariable,
+                PolicyKind::LoadBalancing,
+                Benchmark::by_name("gzip").unwrap(),
+            )
+            .cache_key(),
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidVariable,
+                PolicyKind::Talb,
+                Benchmark::by_name("gcc").unwrap(),
+            )
+            .cache_key(),
+        ];
+        let mut all = vec![k0];
+        all.extend(variants);
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_fixed_flow_settings() {
+        let mk = |s: usize| {
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidFixed(FlowSetting::from_index(s)),
+                PolicyKind::LoadBalancing,
+                Benchmark::by_name("gzip").unwrap(),
+            )
+            .cache_key()
+        };
+        assert_ne!(mk(0), mk(1));
+        assert_eq!(mk(2), mk(2));
     }
 
     #[test]

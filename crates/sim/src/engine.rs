@@ -215,16 +215,23 @@ impl Simulation {
             cfg.target_temperature,
         );
 
+        // Buffers reused across every 100 ms sample (the hot loop must
+        // not allocate): per-core utilizations and sleeping fractions,
+        // the node power vector, and the TALB weights. All thermal
+        // models of one run share a node layout, so one power buffer
+        // serves every flow setting.
+        let mut util = vec![generator.benchmark().utilization(); n];
+        let mut sleeping = vec![0.0; n];
+        let mut power = self.models[self.active].zero_power();
+
         // Paper: "all simulations are initialized with steady state
         // temperature values" — two leakage fixed-point rounds.
-        let init_util = vec![generator.benchmark().utilization(); n];
-        let sleep0 = vec![0.0; n];
         let mut block_temps = {
             let bench = generator.benchmark();
             let mut bt = BlockTemperatures::extract(&self.models[self.active], &self.temps);
             for _ in 0..2 {
-                let p = self.build_power(&init_util, &sleep0, bench.memory_intensity(), &bt);
-                self.temps = self.models[self.active].steady_state(&p, Some(&self.temps))?;
+                self.fill_power(&mut power, &util, &sleeping, bench.memory_intensity(), &bt);
+                self.temps = self.models[self.active].steady_state(&power, Some(&self.temps))?;
                 bt = BlockTemperatures::extract(&self.models[self.active], &self.temps);
             }
             bt
@@ -279,23 +286,25 @@ impl Simulation {
             // Sampling boundary: thermal + control + metrics.
             if (tick_i + 1) % sample_every == 0 {
                 let dt = cfg.sampling_interval;
-                let util: Vec<f64> = busy_ticks
-                    .iter()
-                    .map(|&b| b as f64 / (sample_every * contexts) as f64)
-                    .collect();
-                let sleeping: Vec<f64> = (0..n)
-                    .map(|i| {
-                        if dpm.state(i) == vfc_power::PowerState::Sleep {
-                            1.0 - util[i]
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect();
+                for (u, &b) in util.iter_mut().zip(&busy_ticks) {
+                    *u = b as f64 / (sample_every * contexts) as f64;
+                }
+                for i in 0..n {
+                    sleeping[i] = if dpm.state(i) == vfc_power::PowerState::Sleep {
+                        1.0 - util[i]
+                    } else {
+                        0.0
+                    };
+                }
                 busy_ticks.fill(0);
 
-                let power =
-                    self.build_power(&util, &sleeping, bench.memory_intensity(), &block_temps);
+                self.fill_power(
+                    &mut power,
+                    &util,
+                    &sleeping,
+                    bench.memory_intensity(),
+                    &block_temps,
+                );
                 let chip_w = Watts::new(power.iter().sum());
                 self.models[self.active].step(&mut self.temps, &power, dt, cfg.thermal_substeps)?;
                 block_temps = BlockTemperatures::extract(&self.models[self.active], &self.temps);
@@ -337,7 +346,7 @@ impl Simulation {
                     flow_setting_sum += setting.index() as f64;
                     flow_samples += 1;
                 }
-                weights = self.weight_table.weights_for(tmax).to_vec();
+                weights.copy_from_slice(self.weight_table.weights_for(tmax));
             }
         }
 
@@ -378,17 +387,20 @@ impl Simulation {
         })
     }
 
-    /// Builds the node power vector for one interval.
-    fn build_power(
+    /// Fills `p` with the node power vector for one interval. `p` must
+    /// have the model's node count; it is zeroed first, so the same
+    /// buffer can be reused across samples without reallocating.
+    fn fill_power(
         &self,
+        p: &mut [f64],
         util: &[f64],
         sleeping: &[f64],
         memory_intensity: f64,
         block_temps: &BlockTemperatures,
-    ) -> Vec<f64> {
+    ) {
         let cfg = &self.cfg;
         let model = &self.models[self.active];
-        let mut p = model.zero_power();
+        p.fill(0.0);
 
         // Cores: utilization-weighted active/idle plus the sleep share.
         for (gid, &(t, b)) in self.cores.iter().enumerate() {
@@ -404,7 +416,7 @@ impl Simulation {
                     block_temps.block_max(t, b),
                 )
                 .value();
-            model.add_block_power(&mut p, t, b, Watts::new(dynamic + leak));
+            model.add_block_power(p, t, b, Watts::new(dynamic + leak));
         }
         // L2 banks follow their cores' activity.
         for (t, b, served) in &self.l2s {
@@ -421,7 +433,7 @@ impl Simulation {
                 )
                 .value();
             model.add_block_power(
-                &mut p,
+                p,
                 *t,
                 *b,
                 Watts::new(cfg.power.l2_power(act).value() + leak),
@@ -442,7 +454,7 @@ impl Simulation {
                     block_temps.block_max(*t, *b),
                 )
                 .value();
-            model.add_block_power(&mut p, *t, *b, Watts::new(w + leak));
+            model.add_block_power(p, *t, *b, Watts::new(w + leak));
         }
         // Fixed blocks (uncore, buffers) plus leakage.
         for &(t, b, w) in &self.fixed_blocks {
@@ -453,9 +465,8 @@ impl Simulation {
                     block_temps.block_max(t, b),
                 )
                 .value();
-            model.add_block_power(&mut p, t, b, Watts::new(w + leak));
+            model.add_block_power(p, t, b, Watts::new(w + leak));
         }
-        p
     }
 }
 

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache_key;
 mod config;
 mod cycles;
 mod engine;

@@ -4,7 +4,11 @@ use vfc_units::{Celsius, Energy, Seconds};
 
 /// Everything one simulation run produces — the raw material for the
 /// paper's Figs. 6–8 and the EXPERIMENTS.md records.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+///
+/// `Deserialize` exists so `vfc_runner`'s on-disk result cache can load
+/// reports back; offline builds route it through the vendored serde
+/// marker shim while `vfc_runner::json` does the actual encoding.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimReport {
     /// `Policy (Cooling)` label as in the paper's legends.
     pub label: String,

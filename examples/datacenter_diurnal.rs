@@ -8,6 +8,9 @@
 //! ```sh
 //! cargo run --release --example datacenter_diurnal
 //! ```
+//!
+//! Both pump strategies run as one `vfc_runner` sweep over the phased
+//! workload — in parallel, and cached so a rerun is instant.
 
 use vfc::prelude::*;
 
@@ -19,23 +22,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("day phase: {day}, night phase: {night}");
 
-    let var = Experiment::with_workload(
-        SystemKind::TwoLayer,
-        CoolingKind::LiquidVariable,
-        PolicyKind::Talb,
-        pattern.clone(),
-    )
-    .duration(Seconds::new(120.0))
-    .run()?;
-
-    let max = Experiment::with_workload(
-        SystemKind::TwoLayer,
-        CoolingKind::LiquidMax,
-        PolicyKind::Talb,
-        pattern,
-    )
-    .duration(Seconds::new(120.0))
-    .run()?;
+    let runner = SweepRunner::with_default_disk_cache();
+    let reports = runner.run_spec(
+        &SweepSpec::new()
+            .coolings([CoolingKind::LiquidVariable, CoolingKind::LiquidMax])
+            .policies([PolicyKind::Talb])
+            .workloads([pattern])
+            .duration(Seconds::new(120.0)),
+    )?;
+    let [var, max] = &reports[..] else {
+        unreachable!("two cooling kinds expand to two runs");
+    };
 
     println!("\n--- variable flow ---\n{var}");
     println!("\n--- worst-case flow ---\n{max}");

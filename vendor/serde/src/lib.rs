@@ -7,7 +7,11 @@
 //! drives the serde data model. This shim therefore provides:
 //!
 //! * empty marker traits [`Serialize`] and [`Deserialize`], enough for
-//!   `T: serde::Serialize` bounds to compile;
+//!   `T: serde::Serialize` bounds to compile, with marker impls for the
+//!   std primitives/containers that `vfc_runner`'s cache persistence
+//!   names in bounds (real serde implements all of them);
+//! * a [`de::DeserializeOwned`] mirror (blanket over [`Deserialize`]),
+//!   matching real serde's `serde::de::DeserializeOwned` path;
 //! * the derive macros of the same names (from the vendored
 //!   `serde_derive`), which emit marker impls and accept — and ignore —
 //!   `#[serde(...)]` helper attributes such as `#[serde(transparent)]`.
@@ -26,3 +30,36 @@ pub trait Serialize {}
 /// Marker stand-in for serde's `Deserialize` trait (the `'de` lifetime is
 /// dropped since no deserializer exists here).
 pub trait Deserialize {}
+
+/// Mirror of serde's `de` module, extended exactly as far as
+/// `vfc_runner`'s cache persistence requires: its generic codec is
+/// bounded on `serde::de::DeserializeOwned`, which real serde provides
+/// as a blanket over `for<'de> Deserialize<'de>`. The shim mirrors the
+/// path and the blanket so those bounds compile identically offline.
+pub mod de {
+    /// Marker stand-in for serde's owned-deserialization trait.
+    pub trait DeserializeOwned {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// Impls for the std types appearing inside cache-persisted values
+// (`SimReport` members, `Vec<CacheIndexEntry>` index documents). Real
+// serde provides all of these, so code written against the shim keeps
+// compiling after a registry swap.
+macro_rules! impl_markers {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl Serialize for $ty {}
+          impl Deserialize for $ty {})+
+    };
+}
+
+impl_markers!(bool, u8, u32, u64, usize, i32, i64, f32, f64, String);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}

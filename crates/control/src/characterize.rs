@@ -41,6 +41,32 @@ pub fn characterize(
     demand_points: usize,
     power_at: &dyn Fn(f64, &ThermalModel) -> Vec<f64>,
 ) -> Result<Characterization, ControlError> {
+    characterize_skeleton(
+        &std::sync::Arc::new(builder.skeleton()),
+        pump,
+        cavities,
+        target,
+        demand_points,
+        power_at,
+    )
+}
+
+/// [`characterize`] against an already-assembled skeleton, so callers
+/// that hold one (e.g. the engine's `ThermalModelFamily`) don't pay
+/// assembly twice. Each setting is a cheap value patch on shared CSR
+/// structure, not a reassembly.
+///
+/// # Errors
+///
+/// As [`characterize`].
+pub fn characterize_skeleton(
+    skeleton: &std::sync::Arc<vfc_thermal::StackSkeleton>,
+    pump: &Pump,
+    cavities: usize,
+    target: Celsius,
+    demand_points: usize,
+    power_at: &dyn Fn(f64, &ThermalModel) -> Vec<f64>,
+) -> Result<Characterization, ControlError> {
     if demand_points < 2 {
         return Err(ControlError::EmptyDemandGrid);
     }
@@ -51,7 +77,7 @@ pub fn characterize(
 
     for s in pump.flow_settings() {
         let flow = pump.per_cavity_flow(s, cavities);
-        let model = builder.build(Some(flow))?;
+        let mut model = skeleton.model(Some(flow))?;
         let mut warm: Option<Vec<f64>> = None;
         for (d, &demand) in demands.iter().enumerate() {
             let p = power_at(demand, &model);

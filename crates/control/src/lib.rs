@@ -26,7 +26,7 @@ mod error;
 mod lut;
 
 pub use self::balance::balanced_power_rows;
-pub use self::characterize::{characterize, Characterization};
+pub use self::characterize::{characterize, characterize_skeleton, Characterization};
 pub use self::controller::FlowController;
 pub use self::error::ControlError;
 pub use self::lut::FlowLut;

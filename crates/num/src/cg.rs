@@ -1,12 +1,18 @@
-//! Jacobi-preconditioned conjugate gradient for SPD systems.
+//! Preconditioned conjugate gradient for SPD systems.
 
-use crate::{dot, norm2, CsrMatrix, NumError, SolveInfo};
+use crate::{
+    dot, norm2, CsrMatrix, JacobiPreconditioner, NumError, Preconditioner, SolveInfo,
+    SolverWorkspace,
+};
 
-/// Conjugate-gradient solver for symmetric positive-definite systems,
-/// with diagonal (Jacobi) preconditioning.
+/// Conjugate-gradient solver for symmetric positive-definite systems.
 ///
 /// Used for the purely conductive (air-cooled) thermal networks, whose
-/// conductance matrices are SPD M-matrices.
+/// conductance matrices are SPD M-matrices. [`solve`](Self::solve) applies
+/// Jacobi preconditioning with one-shot scratch space;
+/// [`solve_with`](Self::solve_with) takes an explicit [`Preconditioner`]
+/// (which must be SPD itself for CG to remain valid) and a reusable
+/// [`SolverWorkspace`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConjugateGradient {
     /// Relative residual tolerance `‖b−Ax‖/‖b‖`.
@@ -33,10 +39,29 @@ impl ConjugateGradient {
     /// [`NumError::DimensionMismatch`] for wrong lengths,
     /// [`NumError::NoConvergence`] if the tolerance is not reached.
     pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> Result<SolveInfo, NumError> {
+        let m = JacobiPreconditioner::new(a);
+        self.solve_with(a, b, x, &m, &mut SolverWorkspace::new())
+    }
+
+    /// Solves `A·x = b` with an explicit preconditioner and a caller-owned
+    /// workspace; allocation-free when the workspace has already reached
+    /// the matrix order.
+    ///
+    /// # Errors
+    ///
+    /// As [`solve`](Self::solve).
+    pub fn solve_with(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        m: &dyn Preconditioner,
+        ws: &mut SolverWorkspace,
+    ) -> Result<SolveInfo, NumError> {
         let n = a.order();
-        if b.len() != n || x.len() != n {
+        if b.len() != n || x.len() != n || m.order() != n {
             return Err(NumError::DimensionMismatch {
-                context: "cg: rhs/solution length must equal matrix order",
+                context: "cg: rhs/solution/preconditioner order must equal matrix order",
             });
         }
         let b_norm = norm2(b);
@@ -47,33 +72,31 @@ impl ConjugateGradient {
                 residual: 0.0,
             });
         }
+        ws.ensure(n);
+        let SolverWorkspace {
+            r, v, p, phat: z, ..
+        } = ws;
+        let (r, ap) = (&mut r[..n], &mut v[..n]);
+        let (p, z) = (&mut p[..n], &mut z[..n]);
 
-        let inv_diag: Vec<f64> = a
-            .diagonal()
-            .iter()
-            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
-            .collect();
-
-        let mut r = vec![0.0; n];
-        a.matvec_into(x, &mut r);
+        a.matvec_into(x, r);
         for i in 0..n {
             r[i] = b[i] - r[i];
         }
-        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-        let mut p = z.clone();
-        let mut rz = dot(&r, &z);
-        let mut ap = vec![0.0; n];
+        m.apply(r, z);
+        p.copy_from_slice(z);
+        let mut rz = dot(r, z);
 
         for it in 0..self.max_iterations {
-            let res = norm2(&r) / b_norm;
+            let res = norm2(r) / b_norm;
             if res <= self.tolerance {
                 return Ok(SolveInfo {
                     iterations: it,
                     residual: res,
                 });
             }
-            a.matvec_into(&p, &mut ap);
-            let pap = dot(&p, &ap);
+            a.matvec_into(p, ap);
+            let pap = dot(p, ap);
             if pap.abs() < 1e-300 {
                 return Err(NumError::Breakdown { iterations: it });
             }
@@ -82,10 +105,8 @@ impl ConjugateGradient {
                 x[i] += alpha * p[i];
                 r[i] -= alpha * ap[i];
             }
-            for i in 0..n {
-                z[i] = r[i] * inv_diag[i];
-            }
-            let rz_new = dot(&r, &z);
+            m.apply(r, z);
+            let rz_new = dot(r, z);
             let beta = rz_new / rz;
             rz = rz_new;
             for i in 0..n {
@@ -94,7 +115,7 @@ impl ConjugateGradient {
         }
         Err(NumError::NoConvergence {
             iterations: self.max_iterations,
-            residual: norm2(&r) / b_norm,
+            residual: norm2(r) / b_norm,
         })
     }
 }
@@ -151,6 +172,39 @@ mod tests {
             .unwrap();
         assert_eq!(info.iterations, 0);
         assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn solve_with_matches_solve() {
+        let a = laplacian(80);
+        let x_true: Vec<f64> = (0..80).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b = a.matvec(&x_true);
+
+        let mut x_plain = vec![0.0; 80];
+        let info_plain = ConjugateGradient::default()
+            .solve(&a, &b, &mut x_plain)
+            .unwrap();
+
+        let m = crate::JacobiPreconditioner::new(&a);
+        let mut ws = crate::SolverWorkspace::new();
+        let mut x_ws = vec![0.0; 80];
+        let info_ws = ConjugateGradient::default()
+            .solve_with(&a, &b, &mut x_ws, &m, &mut ws)
+            .unwrap();
+        assert_eq!(info_plain.iterations, info_ws.iterations);
+        assert_eq!(x_plain, x_ws);
+
+        // Reusing the same workspace for a second system stays correct.
+        let a2 = laplacian(40);
+        let b2 = a2.matvec(&vec![2.0; 40]);
+        let m2 = crate::JacobiPreconditioner::new(&a2);
+        let mut x2 = vec![0.0; 40];
+        ConjugateGradient::default()
+            .solve_with(&a2, &b2, &mut x2, &m2, &mut ws)
+            .unwrap();
+        for v in &x2 {
+            assert!((v - 2.0).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -7,9 +7,16 @@
 //! * [`DenseMatrix`] with [LU factorization](DenseMatrix::lu_solve) — used
 //!   for small systems (ARMA normal equations, TALB weight solves) and as a
 //!   reference oracle for the sparse iterative solvers in tests;
-//! * [`CsrMatrix`] (compressed sparse row) assembled from triplets;
+//! * [`CsrMatrix`] (compressed sparse row) assembled from triplets, with
+//!   reference-counted index arrays so same-pattern matrix families share
+//!   one structure;
 //! * [`ConjugateGradient`] for symmetric positive-definite systems;
 //! * [`BiCgStab`] for the nonsymmetric systems produced by advection;
+//! * the [`Preconditioner`] trait with [`JacobiPreconditioner`] and
+//!   [`Ilu0Preconditioner`] implementations ([`PreconditionerKind`] is the
+//!   config-level selection knob), threaded through both Krylov solvers;
+//! * [`SolverWorkspace`], reusable Krylov scratch space so repeated solves
+//!   on a model allocate nothing;
 //! * [`lstsq`](lstsq::solve) ordinary least squares, used by the
 //!   Hannan–Rissanen ARMA fit;
 //! * light statistics helpers in [`stats`].
@@ -39,14 +46,21 @@ mod cg;
 mod dense;
 mod error;
 pub mod lstsq;
+mod precond;
 mod sparse;
 pub mod stats;
+mod workspace;
 
 pub use self::bicgstab::BiCgStab;
 pub use self::cg::ConjugateGradient;
 pub use self::dense::DenseMatrix;
 pub use self::error::NumError;
+pub use self::precond::{
+    IdentityPreconditioner, Ilu0Preconditioner, JacobiPreconditioner, Preconditioner,
+    PreconditionerKind,
+};
 pub use self::sparse::{CsrBuilder, CsrMatrix};
+pub use self::workspace::SolverWorkspace;
 
 /// Convergence report returned by the iterative solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,10 +74,14 @@ pub struct SolveInfo {
 /// Euclidean norm of a vector.
 #[inline]
 pub fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    dot(v, v).sqrt()
 }
 
 /// Dot product of two equal-length vectors.
+///
+/// Four independent accumulators break the floating-point add dependency
+/// chain so the loop pipelines; the Krylov solvers call this several
+/// times per iteration.
 ///
 /// # Panics
 ///
@@ -71,7 +89,21 @@ pub fn norm2(v: &[f64]) -> f64 {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f64; 4];
+    let n4 = a.len() - a.len() % 4;
+    let (a4, a_tail) = a.split_at(n4);
+    let (b4, b_tail) = b.split_at(n4);
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        s += x * y;
+    }
+    s
 }
 
 #[cfg(test)]

@@ -1,0 +1,387 @@
+//! Preconditioners for the Krylov solvers.
+//!
+//! The thermal RC networks are assembled once per grid and re-solved
+//! thousands of times (every 100 ms sample, every characterization point),
+//! so it pays to spend setup time on a preconditioner that is then applied
+//! on every iteration. Three levels are provided:
+//!
+//! * [`IdentityPreconditioner`] — no preconditioning (reference/ablation);
+//! * [`JacobiPreconditioner`] — diagonal scaling, free to build, helps the
+//!   strongly diagonally dominant small grids;
+//! * [`Ilu0Preconditioner`] — incomplete LU on the matrix's own sparsity
+//!   pattern, the workhorse for fine grids where unpreconditioned
+//!   BiCGSTAB iteration counts grow superlinearly.
+//!
+//! [`PreconditionerKind`] is the serializable selection knob threaded
+//! through `vfc_thermal::SolverConfig`.
+
+use crate::{CsrMatrix, NumError};
+
+/// Application side of a preconditioner: `z ≈ A⁻¹·r`.
+///
+/// Implementations are built once per matrix (see
+/// [`PreconditionerKind::build`]) and applied on every solver iteration;
+/// `apply` must not allocate.
+pub trait Preconditioner: std::fmt::Debug + Send + Sync {
+    /// Applies the preconditioner: `z = M⁻¹·r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `z` differ from the matrix order the
+    /// preconditioner was built for.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Matrix order this preconditioner was built for.
+    fn order(&self) -> usize;
+}
+
+/// No preconditioning: `z = r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentityPreconditioner {
+    n: usize,
+}
+
+impl IdentityPreconditioner {
+    /// Creates an identity preconditioner for order-`n` systems.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "identity: r length");
+        assert_eq!(z.len(), self.n, "identity: z length");
+        z.copy_from_slice(r);
+    }
+
+    fn order(&self) -> usize {
+        self.n
+    }
+}
+
+/// Diagonal (Jacobi) scaling: `z_i = r_i / A_ii`.
+///
+/// Rows with a (numerically) vanishing diagonal fall back to the identity
+/// so the preconditioner is always well defined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds the inverse diagonal of `a`.
+    pub fn new(a: &CsrMatrix) -> Self {
+        let inv_diag = a
+            .diagonal()
+            .iter()
+            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
+            .collect();
+        Self { inv_diag }
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.inv_diag.len();
+        assert_eq!(r.len(), n, "jacobi: r length");
+        assert_eq!(z.len(), n, "jacobi: z length");
+        for i in 0..n {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+
+    fn order(&self) -> usize {
+        self.inv_diag.len()
+    }
+}
+
+/// Incomplete LU factorization with zero fill-in, ILU(0).
+///
+/// The factors live on the sparsity pattern of the input matrix, with a
+/// unit-diagonal `L` stored strictly below the diagonal and `U` on and
+/// above it — kept as compact split CSR halves so the triangular sweeps
+/// stream contiguous arrays. For the advection–diffusion thermal matrices
+/// this cuts BiCGSTAB iteration counts by an order of magnitude on fine
+/// grids.
+#[derive(Debug, Clone)]
+pub struct Ilu0Preconditioner {
+    /// Reciprocals of the `U` diagonal (the backward solve multiplies
+    /// instead of dividing — serial divides dominate otherwise). Length
+    /// is the matrix order.
+    inv_diag: Vec<f64>,
+    /// Strictly-lower factor in compact CSR (`l_ptr[i]..l_ptr[i+1]`).
+    l_ptr: Vec<u32>,
+    l_col: Vec<u32>,
+    l_val: Vec<f64>,
+    /// Strictly-upper factor in compact CSR.
+    u_ptr: Vec<u32>,
+    u_col: Vec<u32>,
+    u_val: Vec<f64>,
+}
+
+impl Ilu0Preconditioner {
+    /// Factors `a` in ILU(0) form.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::SingularMatrix`] if a row lacks a diagonal entry or a
+    /// pivot vanishes during elimination.
+    pub fn new(a: &CsrMatrix) -> Result<Self, NumError> {
+        let n = a.order();
+        // Shares row_ptr/col_idx with `a`; only the values are owned.
+        let mut lu = a.clone();
+        let mut diag_idx = vec![u32::MAX; n];
+        for i in 0..n {
+            match lu.pattern_index(i, i) {
+                Some(k) => diag_idx[i] = k as u32,
+                None => return Err(NumError::SingularMatrix { pivot: i }),
+            }
+        }
+
+        // IKJ elimination restricted to the existing pattern.
+        let row_ptr: Vec<usize> = lu.row_ptr().iter().map(|&p| p as usize).collect();
+        for i in 0..n {
+            let (start, end) = (row_ptr[i], row_ptr[i + 1]);
+            for kk in start..end {
+                let k = lu.col_indices()[kk] as usize;
+                if k >= i {
+                    break;
+                }
+                let dk = diag_idx[k] as usize;
+                let pivot = lu.values()[dk];
+                if pivot.abs() < 1e-300 {
+                    return Err(NumError::SingularMatrix { pivot: k });
+                }
+                let lik = lu.values()[kk] / pivot;
+                lu.values_mut()[kk] = lik;
+                // Subtract lik·U[k, j] wherever (i, j) is in the pattern.
+                for jj in (dk + 1)..row_ptr[k + 1] {
+                    let j = lu.col_indices()[jj] as usize;
+                    if let Some(ij) = lu.pattern_index(i, j) {
+                        lu.values_mut()[ij] -= lik * lu.values()[jj];
+                    }
+                }
+            }
+            let di = diag_idx[i] as usize;
+            if lu.values()[di].abs() < 1e-300 {
+                return Err(NumError::SingularMatrix { pivot: i });
+            }
+        }
+        let inv_diag: Vec<f64> = diag_idx
+            .iter()
+            .map(|&di| 1.0 / lu.values()[di as usize])
+            .collect();
+
+        // Split the factors into compact strictly-lower / strictly-upper
+        // CSR halves so each triangular sweep streams contiguous arrays.
+        let mut l_ptr = Vec::with_capacity(n + 1);
+        let mut l_col = Vec::new();
+        let mut l_val = Vec::new();
+        let mut u_ptr = Vec::with_capacity(n + 1);
+        let mut u_col = Vec::new();
+        let mut u_val = Vec::new();
+        l_ptr.push(0u32);
+        u_ptr.push(0u32);
+        for i in 0..n {
+            let start = lu.row_ptr()[i] as usize;
+            let end = lu.row_ptr()[i + 1] as usize;
+            let di = diag_idx[i] as usize;
+            for k in start..di {
+                l_col.push(lu.col_indices()[k]);
+                l_val.push(lu.values()[k]);
+            }
+            for k in (di + 1)..end {
+                u_col.push(lu.col_indices()[k]);
+                u_val.push(lu.values()[k]);
+            }
+            l_ptr.push(l_col.len() as u32);
+            u_ptr.push(u_col.len() as u32);
+        }
+        Ok(Self {
+            inv_diag,
+            l_ptr,
+            l_col,
+            l_val,
+            u_ptr,
+            u_col,
+            u_val,
+        })
+    }
+}
+
+impl Preconditioner for Ilu0Preconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.inv_diag.len();
+        assert_eq!(r.len(), n, "ilu0: r length");
+        assert_eq!(z.len(), n, "ilu0: z length");
+        // SAFETY (both sweeps): the compact factor arrays are built in
+        // `new` with `*_ptr` monotone and bounded by the factor length,
+        // and every column index is < n (builder invariant); r and z are
+        // length-checked above. Triangular entries reference only
+        // already-computed z positions.
+        unsafe {
+            // Forward solve L·y = r (unit diagonal), writing y into z.
+            let mut start = 0usize;
+            for i in 0..n {
+                let end = *self.l_ptr.get_unchecked(i + 1) as usize;
+                let mut acc = *r.get_unchecked(i);
+                for k in start..end {
+                    acc -= *self.l_val.get_unchecked(k)
+                        * *z.get_unchecked(*self.l_col.get_unchecked(k) as usize);
+                }
+                *z.get_unchecked_mut(i) = acc;
+                start = end;
+            }
+            // Backward solve U·z = y in place.
+            for i in (0..n).rev() {
+                let start = *self.u_ptr.get_unchecked(i) as usize;
+                let end = *self.u_ptr.get_unchecked(i + 1) as usize;
+                let mut acc = *z.get_unchecked(i);
+                for k in start..end {
+                    acc -= *self.u_val.get_unchecked(k)
+                        * *z.get_unchecked(*self.u_col.get_unchecked(k) as usize);
+                }
+                *z.get_unchecked_mut(i) = acc * *self.inv_diag.get_unchecked(i);
+            }
+        }
+    }
+
+    fn order(&self) -> usize {
+        self.inv_diag.len()
+    }
+}
+
+/// Serializable preconditioner selection knob.
+///
+/// `vfc_thermal::SolverConfig` threads this through the model builders;
+/// [`build`](Self::build) turns it into a concrete [`Preconditioner`] for
+/// one assembled matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PreconditionerKind {
+    /// No preconditioning.
+    Identity,
+    /// Diagonal scaling.
+    Jacobi,
+    /// Incomplete LU with zero fill-in.
+    Ilu0,
+}
+
+impl PreconditionerKind {
+    /// Builds the concrete preconditioner for `a`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::SingularMatrix`] if ILU(0) breaks down (missing or
+    /// vanishing pivot).
+    pub fn build(self, a: &CsrMatrix) -> Result<Box<dyn Preconditioner>, NumError> {
+        Ok(match self {
+            PreconditionerKind::Identity => Box::new(IdentityPreconditioner::new(a.order())),
+            PreconditionerKind::Jacobi => Box::new(JacobiPreconditioner::new(a)),
+            PreconditionerKind::Ilu0 => Box::new(Ilu0Preconditioner::new(a)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 4.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.5);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -0.5);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identity_copies() {
+        let m = IdentityPreconditioner::new(3);
+        let mut z = vec![0.0; 3];
+        m.apply(&[1.0, -2.0, 3.0], &mut z);
+        assert_eq!(z, vec![1.0, -2.0, 3.0]);
+        assert_eq!(m.order(), 3);
+    }
+
+    #[test]
+    fn jacobi_divides_by_diagonal() {
+        let a = tridiag(4);
+        let m = JacobiPreconditioner::new(&a);
+        let mut z = vec![0.0; 4];
+        m.apply(&[4.0, 8.0, -4.0, 2.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn ilu0_on_triangular_matrix_is_exact() {
+        // For a lower-triangular matrix ILU(0) is an exact factorization,
+        // so applying it solves the system outright.
+        let mut b = CsrBuilder::new(3);
+        b.add(0, 0, 2.0);
+        b.add(1, 0, 1.0);
+        b.add(1, 1, 4.0);
+        b.add(2, 1, -2.0);
+        b.add(2, 2, 5.0);
+        let a = b.build();
+        let m = Ilu0Preconditioner::new(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let rhs = a.matvec(&x_true);
+        let mut z = vec![0.0; 3];
+        m.apply(&rhs, &mut z);
+        for (got, want) in z.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12, "{z:?}");
+        }
+    }
+
+    #[test]
+    fn ilu0_on_tridiagonal_is_exact_lu() {
+        // A tridiagonal matrix has no fill-in, so ILU(0) equals full LU
+        // and M⁻¹·(A·x) recovers x exactly.
+        let a = tridiag(50);
+        let m = Ilu0Preconditioner::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let rhs = a.matvec(&x_true);
+        let mut z = vec![0.0; 50];
+        m.apply(&rhs, &mut z);
+        for (got, want) in z.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+        assert_eq!(m.order(), a.order());
+    }
+
+    #[test]
+    fn ilu0_missing_diagonal_is_rejected() {
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 1, 1.0);
+        b.add(1, 0, 1.0);
+        let a = b.build();
+        assert!(matches!(
+            Ilu0Preconditioner::new(&a),
+            Err(NumError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_builds_all_variants() {
+        let a = tridiag(5);
+        for kind in [
+            PreconditionerKind::Identity,
+            PreconditionerKind::Jacobi,
+            PreconditionerKind::Ilu0,
+        ] {
+            let m = kind.build(&a).unwrap();
+            assert_eq!(m.order(), 5);
+            let mut z = vec![0.0; 5];
+            m.apply(&[1.0; 5], &mut z);
+            assert!(z.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,5 +1,7 @@
 //! Compressed sparse row matrices assembled from triplets.
 
+use std::sync::Arc;
+
 /// Incremental triplet assembler for a square [`CsrMatrix`].
 ///
 /// Duplicate `(row, col)` entries are summed at [`build`](CsrBuilder::build)
@@ -43,6 +45,20 @@ impl CsrBuilder {
         }
     }
 
+    /// Reserves a structural entry at `(row, col)` without contributing a
+    /// value: the position is kept in the sparsity pattern even if nothing
+    /// else stamps it. Used by skeleton assembly to hold slots for
+    /// flow-dependent conductances that are patched in later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[inline]
+    pub fn reserve_entry(&mut self, row: usize, col: usize) {
+        assert!(row < self.n && col < self.n, "triplet index out of range");
+        self.triplets.push((row as u32, col as u32, 0.0));
+    }
+
     /// Finalizes the builder into a [`CsrMatrix`], summing duplicates.
     pub fn build(mut self) -> CsrMatrix {
         self.triplets
@@ -75,19 +91,25 @@ impl CsrBuilder {
 
         CsrMatrix {
             n: self.n,
-            row_ptr,
-            col_idx,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
             values,
         }
     }
 }
 
 /// A square sparse matrix in compressed-sparse-row format.
+///
+/// The index arrays (`row_ptr`, `col_idx`) are reference-counted, so
+/// cloning a matrix **shares the sparsity structure** and copies only the
+/// values — a family of same-pattern matrices (e.g. one thermal network
+/// per pump setting) holds a single copy of the index arrays. Use
+/// [`shares_structure`](Self::shares_structure) to assert the sharing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     n: usize,
-    row_ptr: Vec<u32>,
-    col_idx: Vec<u32>,
+    row_ptr: Arc<[u32]>,
+    col_idx: Arc<[u32]>,
     values: Vec<f64>,
 }
 
@@ -97,9 +119,56 @@ impl CsrMatrix {
         self.n
     }
 
-    /// Number of stored nonzeros.
+    /// Number of stored entries (structural slots count even when their
+    /// current value is zero).
     pub fn nnz(&self) -> usize {
         self.values.len()
+    }
+
+    /// The CSR row-pointer array (`n + 1` entries).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The CSR column-index array, row-major, sorted within each row.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The stored values, parallel to [`col_indices`](Self::col_indices).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values; the sparsity pattern is
+    /// immutable, so callers can only overwrite entries in place (how
+    /// flow patches update cavity conductances without reassembly).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Whether `self` and `other` share the same reference-counted index
+    /// arrays (not merely equal ones).
+    pub fn shares_structure(&self, other: &CsrMatrix) -> bool {
+        Arc::ptr_eq(&self.row_ptr, &other.row_ptr) && Arc::ptr_eq(&self.col_idx, &other.col_idx)
+    }
+
+    /// Index into [`values`](Self::values) of the entry at `(row, col)`,
+    /// or `None` if the position is not in the pattern. Binary search
+    /// within the row (columns are sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[inline]
+    pub fn pattern_index(&self, row: usize, col: usize) -> Option<usize> {
+        assert!(row < self.n && col < self.n, "index out of range");
+        let start = self.row_ptr[row] as usize;
+        let end = self.row_ptr[row + 1] as usize;
+        self.col_idx[start..end]
+            .binary_search(&(col as u32))
+            .ok()
+            .map(|k| start + k)
     }
 
     /// Matrix–vector product `y = A·x`.
@@ -110,14 +179,35 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "matvec: x length mismatch");
         assert_eq!(y.len(), self.n, "matvec: y length mismatch");
-        for i in 0..self.n {
-            let start = self.row_ptr[i] as usize;
-            let end = self.row_ptr[i + 1] as usize;
-            let mut acc = 0.0;
-            for k in start..end {
-                acc += self.values[k] * x[self.col_idx[k] as usize];
+        let rp = &*self.row_ptr;
+        let cols = &*self.col_idx;
+        let vals = &*self.values;
+        // SAFETY: `row_ptr` has n+1 monotone entries bounded by nnz and
+        // every column index is < n (CsrBuilder invariants); x and y are
+        // length-checked above. The unchecked accesses keep this hot loop
+        // (2 of the 4 memory streams per nonzero) free of bounds tests —
+        // it dominates every Krylov iteration.
+        unsafe {
+            let mut start = *rp.get_unchecked(0) as usize;
+            for i in 0..self.n {
+                let end = *rp.get_unchecked(i + 1) as usize;
+                // Two accumulators break the add dependency chain.
+                let (mut acc0, mut acc1) = (0.0f64, 0.0f64);
+                let mut k = start;
+                while k + 1 < end {
+                    acc0 +=
+                        *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+                    acc1 += *vals.get_unchecked(k + 1)
+                        * *x.get_unchecked(*cols.get_unchecked(k + 1) as usize);
+                    k += 2;
+                }
+                if k < end {
+                    acc0 +=
+                        *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+                }
+                *y.get_unchecked_mut(i) = acc0 + acc1;
+                start = end;
             }
-            y[i] = acc;
         }
     }
 
@@ -150,15 +240,7 @@ impl CsrMatrix {
     ///
     /// Panics if `row` or `col` is out of range.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n && col < self.n, "index out of range");
-        let start = self.row_ptr[row] as usize;
-        let end = self.row_ptr[row + 1] as usize;
-        for k in start..end {
-            if self.col_idx[k] as usize == col {
-                return self.values[k];
-            }
-        }
-        0.0
+        self.pattern_index(row, col).map_or(0.0, |k| self.values[k])
     }
 
     /// Iterates over the stored entries of one row as `(col, value)` pairs.
@@ -256,6 +338,53 @@ mod tests {
         b.add(0, 1, 0.0);
         b.add(1, 1, 1.0);
         assert_eq!(b.build().nnz(), 1);
+    }
+
+    #[test]
+    fn reserved_entries_stay_in_the_pattern() {
+        let mut b = CsrBuilder::new(3);
+        b.reserve_entry(0, 2);
+        b.add(1, 1, 4.0);
+        b.reserve_entry(1, 1); // overlaps a real stamp: no extra slot
+        let m = b.build();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.pattern_index(0, 2), Some(0));
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.pattern_index(2, 2), None);
+    }
+
+    #[test]
+    fn clones_share_structure_and_copy_values() {
+        let a = small();
+        let mut b = a.clone();
+        assert!(a.shares_structure(&b));
+        assert_eq!(a, b);
+        b.values_mut()[0] = 99.0;
+        assert_eq!(a.get(0, 0), 2.0, "values are independent");
+        assert_eq!(b.get(0, 0), 99.0);
+        assert!(a.shares_structure(&b), "patching keeps the shared pattern");
+
+        // An independently built twin is equal but not structure-shared.
+        let twin = small();
+        assert_eq!(a, twin);
+        assert!(!a.shares_structure(&twin));
+    }
+
+    #[test]
+    fn pattern_index_matches_get() {
+        let m = small();
+        for r in 0..3 {
+            for c in 0..3 {
+                match m.pattern_index(r, c) {
+                    Some(k) => assert_eq!(m.values()[k], m.get(r, c)),
+                    None => assert_eq!(m.get(r, c), 0.0),
+                }
+            }
+        }
+        assert_eq!(m.row_ptr().len(), 4);
+        assert_eq!(m.col_indices().len(), m.nnz());
+        assert_eq!(m.values().len(), m.nnz());
     }
 
     #[test]

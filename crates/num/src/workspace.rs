@@ -1,0 +1,73 @@
+//! Reusable scratch space for the iterative solvers.
+
+/// Krylov scratch vectors reused across repeated solves.
+///
+/// [`BiCgStab::solve_with`](crate::BiCgStab::solve_with) and
+/// [`ConjugateGradient::solve_with`](crate::ConjugateGradient::solve_with)
+/// draw every intermediate vector from here, so a caller that keeps one
+/// workspace per model allocates nothing on the solve hot path (the
+/// engine re-solves the same matrices every 100 ms sample). The buffers
+/// grow to the largest order seen and are retained.
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    pub(crate) r: Vec<f64>,
+    pub(crate) r0: Vec<f64>,
+    pub(crate) v: Vec<f64>,
+    pub(crate) p: Vec<f64>,
+    pub(crate) phat: Vec<f64>,
+    pub(crate) shat: Vec<f64>,
+    pub(crate) t: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for order-`n` systems.
+    pub fn with_order(n: usize) -> Self {
+        let mut ws = Self::default();
+        ws.ensure(n);
+        ws
+    }
+
+    /// Grows every buffer to at least `n` entries (contents unspecified).
+    pub(crate) fn ensure(&mut self, n: usize) {
+        for buf in [
+            &mut self.r,
+            &mut self.r0,
+            &mut self.v,
+            &mut self.p,
+            &mut self.phat,
+            &mut self.shat,
+            &mut self.t,
+        ] {
+            if buf.len() < n {
+                buf.resize(n, 0.0);
+            }
+        }
+    }
+
+    /// Current buffer capacity (order of the largest system solved).
+    pub fn order(&self) -> usize {
+        self.r.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_retains() {
+        let mut ws = SolverWorkspace::new();
+        assert_eq!(ws.order(), 0);
+        ws.ensure(10);
+        assert_eq!(ws.order(), 10);
+        ws.ensure(5);
+        assert_eq!(ws.order(), 10, "never shrinks");
+        let ws2 = SolverWorkspace::with_order(7);
+        assert_eq!(ws2.order(), 7);
+    }
+}

@@ -13,7 +13,10 @@
 /// Bumped whenever the simulation engine changes in a way that alters
 /// reports for an identical configuration; mixed into every key so stale
 /// on-disk cache entries miss instead of resurfacing outdated results.
-pub(crate) const CONFIG_HASH_VERSION: u64 = 1;
+///
+/// v2: preconditioned solver stack + 1 µW quantization of TALB balanced
+/// powers (PR 3) re-baselined the TALB (Air) rows.
+pub(crate) const CONFIG_HASH_VERSION: u64 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

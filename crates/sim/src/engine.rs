@@ -1,7 +1,7 @@
 //! The simulation engine: scheduler ticks, power billing, thermal
 //! stepping, forecasting and flow control.
 
-use vfc_control::{balanced_power_rows, characterize, FlowController, FlowLut};
+use vfc_control::{balanced_power_rows, characterize_skeleton, FlowController, FlowLut};
 use vfc_floorplan::{BlockKind, GridSpec, Stack3d};
 use vfc_forecast::TemperaturePredictor;
 use vfc_power::FixedTimeoutDpm;
@@ -9,7 +9,7 @@ use vfc_sched::{
     CoreQueue, LoadBalancing, ReactiveMigration, SchedContext, SchedulingPolicy,
     TemperatureAwareLb, ThermalWeightTable, ThroughputMeter,
 };
-use vfc_thermal::{BlockTemperatures, StackThermalBuilder, ThermalModel};
+use vfc_thermal::{BlockTemperatures, StackThermalBuilder, ThermalModel, ThermalModelFamily};
 use vfc_units::{Celsius, Watts};
 use vfc_workload::WorkloadGenerator;
 
@@ -26,10 +26,12 @@ use crate::{CoolingKind, MetricsCollector, PolicyKind, SimConfig, SimError, SimR
 pub struct Simulation {
     cfg: SimConfig,
     stack: Stack3d,
-    /// One thermal model per *available* flow setting (air and fixed-flow
-    /// runs hold exactly one).
-    models: Vec<ThermalModel>,
-    /// models[active] is the network currently cooling the stack.
+    /// One structure-sharing model family with a member per *available*
+    /// flow setting (air and fixed-flow runs hold exactly one); all
+    /// members share a single `StackSkeleton` (CSR pattern, conduction
+    /// entries, layout), so per-setting cost is one value array.
+    family: ThermalModelFamily,
+    /// `family.model(active)` is the network currently cooling the stack.
     active: usize,
     temps: Vec<f64>,
     /// Global core order: (tier, block index).
@@ -70,31 +72,31 @@ impl Simulation {
         let builder = StackThermalBuilder::new(&stack, grid, cfg.thermal);
         let cavities = stack.cavity_count();
 
-        // Build the thermal model(s).
-        let (models, active, controller) = match cfg.cooling {
-            CoolingKind::Air => {
-                let m = builder.build(None)?;
-                (vec![m], 0, None)
-            }
+        // Build the thermal model family: one shared skeleton per grid,
+        // one cheap flow patch per member.
+        let (family, active, controller) = match cfg.cooling {
+            CoolingKind::Air => (ThermalModelFamily::build(&builder, &[None])?, 0, None),
             CoolingKind::LiquidFixed(s) => {
                 let flow = cfg.pump.per_cavity_flow(s, cavities);
-                (vec![builder.build(Some(flow))?], 0, None)
+                (ThermalModelFamily::for_flows(&builder, &[flow])?, 0, None)
             }
             CoolingKind::LiquidMax => {
                 let flow = cfg.pump.per_cavity_flow(cfg.pump.max_setting(), cavities);
-                (vec![builder.build(Some(flow))?], 0, None)
+                (ThermalModelFamily::for_flows(&builder, &[flow])?, 0, None)
             }
             CoolingKind::LiquidVariable => {
-                let mut models = Vec::with_capacity(cfg.pump.setting_count());
-                for s in cfg.pump.flow_settings() {
-                    let flow = cfg.pump.per_cavity_flow(s, cavities);
-                    models.push(builder.build(Some(flow))?);
-                }
+                let flows: Vec<_> = cfg
+                    .pump
+                    .flow_settings()
+                    .map(|s| cfg.pump.per_cavity_flow(s, cavities))
+                    .collect();
+                let family = ThermalModelFamily::for_flows(&builder, &flows)?;
                 // Characterize heat demand vs flow setting into the LUT,
                 // with a safety margin on the target absorbing forecast
-                // error and pump-transition lag.
-                let c = characterize(
-                    &builder,
+                // error and pump-transition lag. Reuses the family's
+                // skeleton so the grid is assembled exactly once.
+                let c = characterize_skeleton(
+                    family.skeleton(),
                     &cfg.pump,
                     cavities,
                     cfg.target_temperature - cfg.control_margin,
@@ -104,7 +106,7 @@ impl Simulation {
                 let lut = FlowLut::from_characterization(&c, &cfg.pump)?;
                 let ctrl = FlowController::with_hysteresis(lut, &cfg.pump, cfg.hysteresis);
                 let active = ctrl.effective_setting().index();
-                (models, active, Some(ctrl))
+                (family, active, Some(ctrl))
             }
         };
 
@@ -130,7 +132,7 @@ impl Simulation {
         }
 
         // TALB weight table from the balanced-power characterization.
-        let weight_model = &models[models.len() / 2];
+        let weight_model = family.model(family.len() / 2);
         let background = background_power(&cfg, &stack, weight_model);
         let weight_table = if cfg.policy == PolicyKind::Talb {
             let rows = balanced_power_rows(
@@ -147,11 +149,11 @@ impl Simulation {
         let predictor = (matches!(cfg.cooling, CoolingKind::LiquidVariable) && cfg.proactive)
             .then(TemperaturePredictor::paper_default);
 
-        let temps = models[active].initial_state();
+        let temps = family.model(active).initial_state();
         Ok(Self {
             cfg,
             stack,
-            models,
+            family,
             active,
             temps,
             cores,
@@ -217,22 +219,25 @@ impl Simulation {
 
         // Buffers reused across every 100 ms sample (the hot loop must
         // not allocate): per-core utilizations and sleeping fractions,
-        // the node power vector, and the TALB weights. All thermal
-        // models of one run share a node layout, so one power buffer
-        // serves every flow setting.
+        // the node power vector, the block/core temperature extracts and
+        // the TALB weights. All family members share a node layout, so
+        // one power buffer serves every flow setting.
         let mut util = vec![generator.benchmark().utilization(); n];
         let mut sleeping = vec![0.0; n];
-        let mut power = self.models[self.active].zero_power();
+        let mut power = self.family.model(self.active).zero_power();
 
         // Paper: "all simulations are initialized with steady state
         // temperature values" — two leakage fixed-point rounds.
         let mut block_temps = {
             let bench = generator.benchmark();
-            let mut bt = BlockTemperatures::extract(&self.models[self.active], &self.temps);
+            let mut bt = BlockTemperatures::extract(self.family.model(self.active), &self.temps);
             for _ in 0..2 {
                 self.fill_power(&mut power, &util, &sleeping, bench.memory_intensity(), &bt);
-                self.temps = self.models[self.active].steady_state(&power, Some(&self.temps))?;
-                bt = BlockTemperatures::extract(&self.models[self.active], &self.temps);
+                self.temps = self
+                    .family
+                    .model_mut(self.active)
+                    .steady_state(&power, Some(&self.temps))?;
+                bt.extract_into(self.family.model(self.active), &self.temps);
             }
             bt
         };
@@ -306,9 +311,14 @@ impl Simulation {
                     &block_temps,
                 );
                 let chip_w = Watts::new(power.iter().sum());
-                self.models[self.active].step(&mut self.temps, &power, dt, cfg.thermal_substeps)?;
-                block_temps = BlockTemperatures::extract(&self.models[self.active], &self.temps);
-                core_temps = block_temps.core_max_temperatures(&self.stack);
+                self.family.model_mut(self.active).step(
+                    &mut self.temps,
+                    &power,
+                    dt,
+                    cfg.thermal_substeps,
+                )?;
+                block_temps.extract_into(self.family.model(self.active), &self.temps);
+                block_temps.core_max_temperatures_into(&self.stack, &mut core_temps);
                 let tmax = max_of(&core_temps);
                 let gradient = block_temps.max_spatial_gradient();
 
@@ -399,7 +409,7 @@ impl Simulation {
         block_temps: &BlockTemperatures,
     ) {
         let cfg = &self.cfg;
-        let model = &self.models[self.active];
+        let model = self.family.model(self.active);
         p.fill(0.0);
 
         // Cores: utilization-weighted active/idle plus the sleep share.

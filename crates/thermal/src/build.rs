@@ -1,17 +1,25 @@
-//! Assembles [`ThermalModel`]s from a [`Stack3d`] description.
+//! Assembles [`StackSkeleton`]s and [`ThermalModel`]s from a [`Stack3d`]
+//! description.
+
+use std::sync::Arc;
 
 use vfc_floorplan::{BlockKind, GridSpec, Interface, Stack3d};
 use vfc_num::CsrBuilder;
 use vfc_units::VolumetricFlow;
 
+use crate::family::{CavityFaces, CoefKind, FlowStamp, LinkPlan};
 use crate::material::{BEOL, BOND, COPPER, SILICON};
-use crate::{NodeLayout, ThermalConfig, ThermalError, ThermalModel};
+use crate::{NodeLayout, StackSkeleton, ThermalConfig, ThermalError, ThermalModel};
 
 /// Builds thermal RC networks for one stack on one grid.
 ///
-/// A liquid-cooled stack yields one model per coolant flow rate (the flow
-/// enters the fluid-cell conductances and the advection terms); callers
-/// typically build all five pump settings once and cache them.
+/// Assembly is split in two: [`skeleton`](Self::skeleton) produces the
+/// immutable, flow-independent [`StackSkeleton`] (sparsity pattern,
+/// conduction entries, layout, patch recipes) once per grid, and each
+/// flow rate is then a cheap value patch on shared structure. Callers that
+/// need several pump settings should build one
+/// [`ThermalModelFamily`](crate::ThermalModelFamily) instead of repeated
+/// [`build`](Self::build) calls, which re-assemble the skeleton each time.
 #[derive(Debug, Clone)]
 pub struct StackThermalBuilder<'a> {
     stack: &'a Stack3d,
@@ -19,12 +27,21 @@ pub struct StackThermalBuilder<'a> {
     config: ThermalConfig,
 }
 
-/// Accumulates matrix stamps during assembly.
+/// Accumulates matrix stamps and patch recipes during skeleton assembly.
 struct Assembly {
     triplets: CsrBuilder,
     cap: Vec<f64>,
+    /// Flow-independent boundary injection.
     b0: Vec<f64>,
-    boundary_links: Vec<(usize, f64, f64)>,
+    /// Boundary-link reconstruction plan, in assembly order.
+    links_plan: Vec<LinkPlan>,
+    /// Flow-dependent contributions as `(row, col, cavity, kind, sign)`;
+    /// resolved to CSR value indices after the pattern is built.
+    flow_entries: Vec<(usize, usize, u16, CoefKind, f64)>,
+    /// `(node, cavity)` pairs whose rhs carries `g_adv·T_inlet`.
+    inlet_rhs: Vec<(u32, u16)>,
+    /// Per-cavity convective face geometry.
+    cavity_faces: Vec<CavityFaces>,
 }
 
 impl Assembly {
@@ -33,7 +50,10 @@ impl Assembly {
             triplets: CsrBuilder::new(n),
             cap: vec![0.0; n],
             b0: vec![0.0; n],
-            boundary_links: Vec::new(),
+            links_plan: Vec::new(),
+            flow_entries: Vec::new(),
+            inlet_rhs: Vec::new(),
+            cavity_faces: Vec::new(),
         }
     }
 
@@ -57,17 +77,38 @@ impl Assembly {
         self.triplets.add(i, i, g);
         self.b0[i] += g * t_boundary;
         if record {
-            self.boundary_links.push((i, g, t_boundary));
+            self.links_plan.push(LinkPlan::Static {
+                node: i,
+                g,
+                temp: t_boundary,
+            });
         }
     }
 
-    /// Directed (upwind) advection: heat enters node `i` from `upstream`.
-    fn stamp_advection(&mut self, i: usize, upstream: usize, g: f64) {
-        if g == 0.0 {
-            return;
+    /// Flow-dependent symmetric coupling between a fluid node and a tier
+    /// node: reserves the pattern slots and records the patch recipe.
+    fn stamp_flow_pair(&mut self, f: usize, t: usize, cavity: u16, kind: CoefKind) {
+        for &(row, col, sign) in &[(f, f, 1.0), (t, t, 1.0), (f, t, -1.0), (t, f, -1.0)] {
+            self.triplets.reserve_entry(row, col);
+            self.flow_entries.push((row, col, cavity, kind, sign));
         }
-        self.triplets.add(i, i, g);
-        self.triplets.add(i, upstream, -g);
+    }
+
+    /// Flow-dependent upwind advection into fluid node `i`. With an
+    /// `upstream` neighbour the heat arrives from it; the first column
+    /// instead drinks from the inlet plenum (rhs injection).
+    fn stamp_flow_advection(&mut self, i: usize, upstream: Option<usize>, cavity: u16) {
+        self.triplets.reserve_entry(i, i);
+        self.flow_entries
+            .push((i, i, cavity, CoefKind::Advection, 1.0));
+        match upstream {
+            Some(up) => {
+                self.triplets.reserve_entry(i, up);
+                self.flow_entries
+                    .push((i, up, cavity, CoefKind::Advection, -1.0));
+            }
+            None => self.inlet_rhs.push((i as u32, cavity)),
+        }
     }
 }
 
@@ -91,29 +132,42 @@ impl<'a> StackThermalBuilder<'a> {
         self.stack
     }
 
-    /// Assembles the model.
+    /// Assembles a model at one flow rate.
     ///
     /// `flow` is the **per-cavity** coolant flow rate; it is required for
     /// liquid-cooled stacks and must be `None` for air-cooled ones.
+    ///
+    /// Each call assembles a fresh skeleton; to amortize assembly over
+    /// several flow settings use
+    /// [`ThermalModelFamily`](crate::ThermalModelFamily) or
+    /// [`ThermalModel::set_flow`].
     ///
     /// # Errors
     ///
     /// [`ThermalError::MissingFlowRate`] / [`ThermalError::UnexpectedFlowRate`]
     /// on a flow/stack mismatch.
     pub fn build(&self, flow: Option<VolumetricFlow>) -> Result<ThermalModel, ThermalError> {
-        let liquid = self.stack.is_liquid_cooled();
-        let flow = match (liquid, flow) {
-            (true, Some(f)) => Some(f),
-            (true, None) => return Err(ThermalError::MissingFlowRate),
-            (false, Some(_)) => return Err(ThermalError::UnexpectedFlowRate),
-            (false, None) => None,
-        };
+        Arc::new(self.skeleton()).model(flow)
+    }
 
+    /// Assembles the immutable per-grid skeleton: the CSR sparsity pattern
+    /// (including reserved slots for every flow-dependent entry), the
+    /// conduction values, capacitances, static boundary couplings and the
+    /// patch recipes.
+    pub fn skeleton(&self) -> StackSkeleton {
+        let liquid = self.stack.is_liquid_cooled();
         let layout = self.layout();
-        let mut asm = Assembly::new(layout.node_count);
+        let n = layout.node_count;
+        let mut asm = Assembly::new(n);
+
+        // The diagonal is always structural: backward-Euler adds `C/h`
+        // everywhere and ILU(0) needs a pivot in every row.
+        for i in 0..n {
+            asm.triplets.reserve_entry(i, i);
+        }
 
         self.stamp_tiers(&layout, &mut asm);
-        self.stamp_interfaces(&layout, &mut asm, flow);
+        self.stamp_interfaces(&layout, &mut asm);
 
         let reference = if liquid {
             self.config.liquid.inlet.value()
@@ -121,14 +175,43 @@ impl<'a> StackThermalBuilder<'a> {
             self.config.air.ambient.value()
         };
 
-        Ok(ThermalModel::new(
-            asm.triplets.build(),
-            asm.cap,
-            asm.b0,
-            asm.boundary_links,
+        let g_base = asm.triplets.build();
+        let diag_idx = (0..n)
+            .map(|i| {
+                g_base
+                    .pattern_index(i, i)
+                    .expect("diagonal reserved for every node") as u32
+            })
+            .collect();
+        let flow_stamps = asm
+            .flow_entries
+            .iter()
+            .map(|&(row, col, cavity, kind, sign)| FlowStamp {
+                value_idx: g_base
+                    .pattern_index(row, col)
+                    .expect("flow slots are reserved during assembly")
+                    as u32,
+                cavity,
+                kind,
+                sign,
+            })
+            .collect();
+
+        StackSkeleton {
+            g_base,
+            diag_idx,
+            cap: asm.cap,
+            b0_base: asm.b0,
+            links_plan: asm.links_plan,
+            flow_stamps,
+            inlet_rhs: asm.inlet_rhs,
+            cavity_faces: asm.cavity_faces,
             layout,
+            config: self.config,
             reference,
-        ))
+            liquid,
+            cell_area: self.grid.cell_area().value(),
+        }
     }
 
     /// Computes node offsets and the cell→block maps.
@@ -220,12 +303,7 @@ impl<'a> StackThermalBuilder<'a> {
     }
 
     /// Vertical structure: bonds, cavities and the air package.
-    fn stamp_interfaces(
-        &self,
-        layout: &NodeLayout,
-        asm: &mut Assembly,
-        flow: Option<VolumetricFlow>,
-    ) {
+    fn stamp_interfaces(&self, layout: &NodeLayout, asm: &mut Assembly) {
         let mut cavity_counter = 0usize;
         for (k, itf) in self.stack.interfaces().iter().enumerate() {
             match *itf {
@@ -234,8 +312,7 @@ impl<'a> StackThermalBuilder<'a> {
                     self.stamp_bond(layout, asm, k, thickness.value());
                 }
                 Interface::MicrochannelCavity { height } => {
-                    let f = flow.expect("validated: liquid stacks have a flow");
-                    self.stamp_cavity(layout, asm, k, cavity_counter, height.value(), f);
+                    self.plan_cavity(layout, asm, k, cavity_counter, height.value());
                     cavity_counter += 1;
                 }
                 Interface::HeatSink => {
@@ -292,34 +369,42 @@ impl<'a> StackThermalBuilder<'a> {
         }
     }
 
-    fn stamp_cavity(
+    /// One microchannel cavity: static fluid capacitance and channel-wall
+    /// conduction, plus the patch recipes for every flow-dependent entry
+    /// (convective faces — Eq. 2-3 / Fig. 2 — and upwind advection,
+    /// Eq. 4-5).
+    fn plan_cavity(
         &self,
         layout: &NodeLayout,
         asm: &mut Assembly,
         k: usize,
         cavity: usize,
         height: f64,
-        flow: VolumetricFlow,
     ) {
         let lc = &self.config.liquid;
         let (rows, cols) = (layout.rows, layout.cols);
         let area = self.grid.cell_area().value();
         let below = k.checked_sub(1);
         let above = (k < self.stack.tiers().len()).then_some(k);
-        let inlet = lc.inlet.value();
+        let cavity_u16 = u16::try_from(cavity).expect("cavity count fits u16");
 
-        // Effective junction-to-fluid coefficient per base area, split
-        // between the two faces of the cavity (isothermal-wall idiom of
-        // Fig. 2; the perimeter/fin factor is folded into h_eff).
-        let h_eff = lc.convection.effective_htc(&lc.geometry, flow);
+        // The face geometry fixes everything but `h_eff(flow)`: the tier
+        // above presents its BEOL, the tier below its silicon bulk
+        // (isothermal-wall idiom of Fig. 2; the perimeter/fin factor is
+        // folded into h_eff at patch time).
+        asm.cavity_faces.push(CavityFaces {
+            above_r_area: above
+                .map(|t| BEOL.slab_area_resistance(self.stack.tiers()[t].beol_thickness().value())),
+            below_r_area: below.map(|t| {
+                SILICON.slab_area_resistance(self.stack.tiers()[t].si_thickness().value())
+            }),
+        });
+
         let fluid_cap = lc.coolant.volumetric_heat_capacity()
             * area
             * height
             * lc.geometry
                 .fluid_volume_fraction(vfc_units::Length::new(height));
-        // Advection conductance per channel row: the cavity flow divides
-        // evenly over the grid rows (uniform channel array).
-        let g_adv = lc.coolant.capacity_rate(flow).value() / rows as f64;
 
         for r in 0..rows {
             for c in 0..cols {
@@ -327,32 +412,36 @@ impl<'a> StackThermalBuilder<'a> {
                 asm.cap[f] += fluid_cap;
 
                 // Convective coupling to the adjacent tiers, in series
-                // with each tier's face conduction (Eq. 2-3 / Fig. 2): the
-                // tier above presents its BEOL, the tier below its bulk.
+                // with each tier's face conduction — flow-dependent,
+                // patched per setting.
                 if let Some(t) = above {
-                    let t_beol = self.stack.tiers()[t].beol_thickness().value();
-                    let r_area = 2.0 / h_eff + BEOL.slab_area_resistance(t_beol);
-                    asm.stamp(f, layout.tier_node(t, r, c), area / r_area);
+                    asm.stamp_flow_pair(
+                        f,
+                        layout.tier_node(t, r, c),
+                        cavity_u16,
+                        CoefKind::ConvAbove,
+                    );
                 }
                 if let Some(t) = below {
-                    let t_si = self.stack.tiers()[t].si_thickness().value();
-                    let r_area = 2.0 / h_eff + SILICON.slab_area_resistance(t_si);
-                    asm.stamp(f, layout.tier_node(t, r, c), area / r_area);
+                    asm.stamp_flow_pair(
+                        f,
+                        layout.tier_node(t, r, c),
+                        cavity_u16,
+                        CoefKind::ConvBelow,
+                    );
                 }
 
                 // Upwind advection along +x; the first column drinks from
                 // the inlet plenum, the last column records the enthalpy
                 // carried out (for energy-balance validation).
-                if c == 0 {
-                    asm.stamp_boundary(f, g_adv, inlet, false);
-                } else {
-                    asm.stamp_advection(f, layout.fluid_node(cavity, r, c - 1), g_adv);
-                }
+                let upstream = (c > 0).then(|| layout.fluid_node(cavity, r, c - 1));
+                asm.stamp_flow_advection(f, upstream, cavity_u16);
                 if c == cols - 1 {
-                    asm.boundary_links.push((f, g_adv, inlet));
+                    asm.links_plan.push(LinkPlan::Outlet { node: f, cavity });
                 }
 
-                // Channel walls (silicon fins) conduct tier-to-tier.
+                // Channel walls (silicon fins) conduct tier-to-tier —
+                // static, independent of the flow.
                 if let (Some(b), Some(a)) = (below, above) {
                     let flat = r * cols + c;
                     let t_si = self.stack.tiers()[b].si_thickness().value();
@@ -445,6 +534,7 @@ impl<'a> StackThermalBuilder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use vfc_floorplan::ultrasparc;
     use vfc_units::{Length, Watts};
 
@@ -496,7 +586,7 @@ mod tests {
     fn zero_power_settles_at_reference() {
         let stack = ultrasparc::two_layer_liquid();
         let b = StackThermalBuilder::new(&stack, grid_for(&stack, 1.0), ThermalConfig::default());
-        let model = b.build(Some(flow(500.0))).unwrap();
+        let mut model = b.build(Some(flow(500.0))).unwrap();
         let t = model.steady_state(&model.zero_power(), None).unwrap();
         for &ti in &t {
             assert!(
@@ -520,8 +610,8 @@ mod tests {
             }
         };
 
-        let low_flow = b.build(Some(flow(208.3))).unwrap();
-        let high_flow = b.build(Some(flow(1041.7))).unwrap();
+        let mut low_flow = b.build(Some(flow(208.3))).unwrap();
+        let mut high_flow = b.build(Some(flow(1041.7))).unwrap();
         let p3 = low_flow.uniform_block_power(&stack, core_power(3.0));
         let p1 = low_flow.uniform_block_power(&stack, core_power(1.0));
 
@@ -542,7 +632,7 @@ mod tests {
     fn fluid_heats_downstream() {
         let stack = ultrasparc::two_layer_liquid();
         let b = StackThermalBuilder::new(&stack, grid_for(&stack, 1.0), ThermalConfig::default());
-        let model = b.build(Some(flow(300.0))).unwrap();
+        let mut model = b.build(Some(flow(300.0))).unwrap();
         let p = model.uniform_block_power(&stack, |blk| {
             if blk.is_core() {
                 Watts::new(3.0)
@@ -569,7 +659,7 @@ mod tests {
         ] {
             let b =
                 StackThermalBuilder::new(&stack, grid_for(&stack, 1.0), ThermalConfig::default());
-            let model = b.build(fl).unwrap();
+            let mut model = b.build(fl).unwrap();
             let p = model.uniform_block_power(&stack, |blk| match blk.kind() {
                 BlockKind::Core => Watts::new(3.0),
                 BlockKind::L2Cache => Watts::new(1.28),
@@ -583,6 +673,31 @@ mod tests {
                 "balance: in={injected} out={out}"
             );
         }
+    }
+
+    #[test]
+    fn energy_balance_survives_repatching() {
+        // The boundary links (outlet enthalpy) must follow a set_flow, or
+        // the energy-balance validation would silently use stale
+        // conductances.
+        let stack = ultrasparc::two_layer_liquid();
+        let b = StackThermalBuilder::new(&stack, grid_for(&stack, 1.0), ThermalConfig::default());
+        let mut model = b.build(Some(flow(208.3))).unwrap();
+        let p = model.uniform_block_power(&stack, |blk| {
+            if blk.is_core() {
+                Watts::new(3.0)
+            } else {
+                Watts::ZERO
+            }
+        });
+        let injected: f64 = p.iter().sum();
+        model.set_flow(flow(833.3)).unwrap();
+        let t = model.steady_state(&p, None).unwrap();
+        let out = model.boundary_outflow(&t).value();
+        assert!(
+            (out - injected).abs() < 1e-3 * injected,
+            "balance after repatch: in={injected} out={out}"
+        );
     }
 
     #[test]
@@ -615,7 +730,7 @@ mod tests {
     fn air_cooled_is_hotter_far_from_sink() {
         let stack = ultrasparc::two_layer_air();
         let b = StackThermalBuilder::new(&stack, grid_for(&stack, 1.0), ThermalConfig::default());
-        let model = b.build(None).unwrap();
+        let mut model = b.build(None).unwrap();
         let p = model.uniform_block_power(&stack, |blk| {
             if blk.is_core() {
                 Watts::new(3.0)
@@ -662,7 +777,7 @@ mod tests {
         let cfg = ThermalConfig::default();
         let grid =
             GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
-        let model = StackThermalBuilder::new(&stack, grid, cfg)
+        let mut model = StackThermalBuilder::new(&stack, grid, cfg)
             .build(None)
             .unwrap();
         let p_total = 20.0;
@@ -698,8 +813,8 @@ mod tests {
                 }
             })
         };
-        let lo = b.build(Some(flow(208.3))).unwrap();
-        let hi = b.build(Some(flow(1041.7))).unwrap();
+        let mut lo = b.build(Some(flow(208.3))).unwrap();
+        let mut hi = b.build(Some(flow(1041.7))).unwrap();
         let t_lo = lo.steady_state(&p_of(&lo), None).unwrap();
         let t_hi = hi.steady_state(&p_of(&hi), None).unwrap();
         let d =
@@ -733,5 +848,37 @@ mod tests {
             g_xbar > g_core * 1.2,
             "TSV field should strengthen the crossbar path: {g_xbar} vs {g_core}"
         );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn patched_matrix_is_entry_identical_to_from_scratch_build(
+            start_ml in 100.0f64..1100.0,
+            target_ml in 100.0f64..1100.0,
+            cell_mm in 1.0f64..2.5,
+        ) {
+            // Satellite property: a model patched from an arbitrary
+            // starting flow to a target flow is entry-identical (values,
+            // rhs and boundary links) to a from-scratch build at that
+            // target flow.
+            let stack = ultrasparc::two_layer_liquid();
+            let b = StackThermalBuilder::new(
+                &stack,
+                grid_for(&stack, cell_mm),
+                ThermalConfig::default(),
+            );
+            let mut patched = b.build(Some(flow(start_ml))).unwrap();
+            patched.set_flow(flow(target_ml)).unwrap();
+            let direct = b.build(Some(flow(target_ml))).unwrap();
+
+            prop_assert_eq!(
+                patched.conductance_matrix(),
+                direct.conductance_matrix(),
+                "matrix entries must match exactly"
+            );
+            prop_assert_eq!(patched.boundary_injection(), direct.boundary_injection());
+            prop_assert_eq!(&patched.boundary_links, &direct.boundary_links);
+        }
     }
 }

@@ -1,0 +1,425 @@
+//! Structure-sharing model families: one CSR skeleton per grid, patched
+//! per pump setting.
+//!
+//! The conduction topology of a stack is fixed by its geometry; only the
+//! cavity convection conductances, the coolant advection terms and the
+//! inlet injection change with the pump's flow rate. [`StackSkeleton`]
+//! captures everything flow-independent — the CSR sparsity pattern, the
+//! conduction values, capacitances, the static boundary couplings and the
+//! node layout — exactly once per grid. A [`FlowPatch`] is the cheap
+//! per-flow complement: three scalars per cavity plus index lists that
+//! overwrite only the flow-dependent entries of a structure-shared matrix.
+//!
+//! [`ThermalModelFamily`] bundles one skeleton with the per-pump-setting
+//! [`ThermalModel`](crate::ThermalModel) views; all members share the
+//! skeleton through an [`Arc`] (and thereby one copy of the CSR index
+//! arrays), so a five-setting family at a fine grid costs five value
+//! arrays, not five matrices.
+
+use std::sync::Arc;
+
+use vfc_num::CsrMatrix;
+use vfc_units::VolumetricFlow;
+
+use crate::{NodeLayout, StackThermalBuilder, ThermalConfig, ThermalError, ThermalModel};
+
+/// Which per-cavity coefficient a flow-dependent matrix slot scales with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoefKind {
+    /// Fluid ↔ tier-above convection (through the tier's BEOL face).
+    ConvAbove,
+    /// Fluid ↔ tier-below convection (through the tier's silicon bulk).
+    ConvBelow,
+    /// Upwind advection along the channel.
+    Advection,
+}
+
+/// One flow-dependent contribution to a CSR value slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlowStamp {
+    /// Index into the CSR value array.
+    pub value_idx: u32,
+    /// Cavity whose coefficient this slot scales with.
+    pub cavity: u16,
+    /// Coefficient selector.
+    pub kind: CoefKind,
+    /// `+1` for diagonal accumulation, `-1` for couplings.
+    pub sign: f64,
+}
+
+/// Flow-independent geometry of one cavity's convective faces.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CavityFaces {
+    /// Conduction area-resistance of the tier face above (BEOL), if any.
+    pub above_r_area: Option<f64>,
+    /// Conduction area-resistance of the tier face below (silicon), if any.
+    pub below_r_area: Option<f64>,
+}
+
+/// Ordered plan for reconstructing the boundary-link list at any flow.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LinkPlan {
+    /// Flow-independent link (air-package sink convection).
+    Static {
+        /// Node index.
+        node: usize,
+        /// Conductance to the boundary.
+        g: f64,
+        /// Boundary temperature.
+        temp: f64,
+    },
+    /// Channel-outlet enthalpy link; conductance is the cavity's advection
+    /// coefficient at the patched flow.
+    Outlet {
+        /// Fluid node at the last column.
+        node: usize,
+        /// Cavity index.
+        cavity: usize,
+    },
+}
+
+/// The immutable, per-grid part of a thermal model: CSR sparsity pattern,
+/// conduction entries, capacitances, layout and patch recipes.
+///
+/// Built once per `(stack, grid, config)` by
+/// [`StackThermalBuilder::skeleton`]; all pump-setting models derived from
+/// it share this object behind an [`Arc`] — see [`ThermalModelFamily`].
+#[derive(Debug)]
+pub struct StackSkeleton {
+    /// Full-pattern matrix holding only the flow-independent values
+    /// (flow-dependent slots are reserved in the pattern and hold zero).
+    pub(crate) g_base: CsrMatrix,
+    /// Per row, the CSR value index of the diagonal entry (the pattern
+    /// always includes the diagonal; backward-Euler and ILU need it).
+    pub(crate) diag_idx: Vec<u32>,
+    /// Per-node heat capacities (flow-independent: cavity geometry fixes
+    /// the fluid volume).
+    pub(crate) cap: Vec<f64>,
+    /// Flow-independent boundary injection `Σ G_b·T_b`.
+    pub(crate) b0_base: Vec<f64>,
+    /// Boundary-link reconstruction plan, in assembly order.
+    pub(crate) links_plan: Vec<LinkPlan>,
+    /// Flow-dependent matrix contributions.
+    pub(crate) flow_stamps: Vec<FlowStamp>,
+    /// `(node, cavity)` pairs receiving `g_adv·T_inlet` in the rhs.
+    pub(crate) inlet_rhs: Vec<(u32, u16)>,
+    /// Per-cavity convective face geometry.
+    pub(crate) cavity_faces: Vec<CavityFaces>,
+    /// Node layout (shared by every model of the family).
+    pub(crate) layout: NodeLayout,
+    /// Builder configuration (convection model, coolant, solver knobs).
+    pub(crate) config: ThermalConfig,
+    /// Cold-start reference temperature (inlet or ambient).
+    pub(crate) reference: f64,
+    /// Whether the stack is liquid-cooled (flow required).
+    pub(crate) liquid: bool,
+    /// Grid cell area in m².
+    pub(crate) cell_area: f64,
+}
+
+impl StackSkeleton {
+    /// The node layout shared by every model of this family.
+    pub fn layout(&self) -> &NodeLayout {
+        &self.layout
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.layout.node_count()
+    }
+
+    /// Whether models of this family require a coolant flow rate.
+    pub fn is_liquid_cooled(&self) -> bool {
+        self.liquid
+    }
+
+    /// The builder configuration the skeleton was assembled with.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// The flow-independent base matrix (conduction entries on the full
+    /// pattern; flow-dependent slots hold zero).
+    pub fn base_matrix(&self) -> &CsrMatrix {
+        &self.g_base
+    }
+
+    /// Number of flow-dependent value slots patched per flow change.
+    pub fn flow_slot_count(&self) -> usize {
+        self.flow_stamps.len()
+    }
+
+    /// Instantiates a model of this family at the given flow.
+    ///
+    /// The returned model shares this skeleton (and the CSR index arrays)
+    /// with every sibling; only the value array, rhs and boundary links
+    /// are owned per model.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::MissingFlowRate`] /
+    /// [`ThermalError::UnexpectedFlowRate`] on a flow/stack mismatch.
+    pub fn model(
+        self: &Arc<Self>,
+        flow: Option<VolumetricFlow>,
+    ) -> Result<ThermalModel, ThermalError> {
+        match (self.liquid, flow) {
+            (true, None) => Err(ThermalError::MissingFlowRate),
+            (false, Some(_)) => Err(ThermalError::UnexpectedFlowRate),
+            _ => Ok(ThermalModel::from_skeleton(Arc::clone(self), flow)),
+        }
+    }
+
+    /// Writes the flow-dependent values of `patch` over the base entries:
+    /// `g` values, rhs and boundary links all come out exactly as a
+    /// from-scratch build at the patch's flow rate.
+    pub(crate) fn apply_patch(
+        &self,
+        patch: &FlowPatch,
+        g: &mut CsrMatrix,
+        b0: &mut [f64],
+        links: &mut Vec<(usize, f64, f64)>,
+    ) {
+        debug_assert!(g.shares_structure(&self.g_base), "foreign matrix");
+        g.values_mut().copy_from_slice(self.g_base.values());
+        let values = g.values_mut();
+        for s in &self.flow_stamps {
+            values[s.value_idx as usize] += s.sign * patch.coef(s.cavity as usize, s.kind);
+        }
+        b0.copy_from_slice(&self.b0_base);
+        let inlet = self.config.liquid.inlet.value();
+        for &(node, cavity) in &self.inlet_rhs {
+            b0[node as usize] += patch.coefs[cavity as usize].adv * inlet;
+        }
+        links.clear();
+        for plan in &self.links_plan {
+            links.push(match *plan {
+                LinkPlan::Static { node, g, temp } => (node, g, temp),
+                LinkPlan::Outlet { node, cavity } => (node, patch.coefs[cavity].adv, inlet),
+            });
+        }
+    }
+}
+
+/// Per-cavity flow coefficients at one flow rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CavityCoef {
+    /// Fluid ↔ tier-above convective conductance per cell.
+    pub above: f64,
+    /// Fluid ↔ tier-below convective conductance per cell.
+    pub below: f64,
+    /// Advection conductance per channel row.
+    pub adv: f64,
+}
+
+/// The cheap per-flow complement of a [`StackSkeleton`]: three scalars per
+/// cavity, computed from the convection model and the coolant's capacity
+/// rate at one flow setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowPatch {
+    flow: VolumetricFlow,
+    coefs: Vec<CavityCoef>,
+}
+
+impl FlowPatch {
+    /// Computes the patch coefficients for `flow` against `skeleton`.
+    pub fn compute(skeleton: &StackSkeleton, flow: VolumetricFlow) -> Self {
+        let lc = &skeleton.config.liquid;
+        let area = skeleton.cell_area;
+        let rows = skeleton.layout.rows() as f64;
+        let h_eff = lc.convection.effective_htc(&lc.geometry, flow);
+        let g_adv = lc.coolant.capacity_rate(flow).value() / rows;
+        let coefs = skeleton
+            .cavity_faces
+            .iter()
+            .map(|faces| CavityCoef {
+                above: faces
+                    .above_r_area
+                    .map(|r| area / (2.0 / h_eff + r))
+                    .unwrap_or(0.0),
+                below: faces
+                    .below_r_area
+                    .map(|r| area / (2.0 / h_eff + r))
+                    .unwrap_or(0.0),
+                adv: g_adv,
+            })
+            .collect();
+        Self { flow, coefs }
+    }
+
+    /// The flow rate this patch was computed for.
+    pub fn flow(&self) -> VolumetricFlow {
+        self.flow
+    }
+
+    #[inline]
+    fn coef(&self, cavity: usize, kind: CoefKind) -> f64 {
+        let c = &self.coefs[cavity];
+        match kind {
+            CoefKind::ConvAbove => c.above,
+            CoefKind::ConvBelow => c.below,
+            CoefKind::Advection => c.adv,
+        }
+    }
+}
+
+/// One skeleton, many pump settings: the per-setting
+/// [`ThermalModel`] views of a single grid, sharing CSR structure.
+#[derive(Debug)]
+pub struct ThermalModelFamily {
+    skeleton: Arc<StackSkeleton>,
+    models: Vec<ThermalModel>,
+}
+
+impl ThermalModelFamily {
+    /// Builds the family for an explicit list of flows (`None` members are
+    /// only valid for air-cooled stacks, where the family holds one model).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::MissingFlowRate`] /
+    /// [`ThermalError::UnexpectedFlowRate`] on a flow/stack mismatch.
+    pub fn build(
+        builder: &StackThermalBuilder<'_>,
+        flows: &[Option<VolumetricFlow>],
+    ) -> Result<Self, ThermalError> {
+        let skeleton = Arc::new(builder.skeleton());
+        let models = flows
+            .iter()
+            .map(|&f| skeleton.model(f))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { skeleton, models })
+    }
+
+    /// Builds a liquid-cooled family, one model per flow.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    pub fn for_flows(
+        builder: &StackThermalBuilder<'_>,
+        flows: &[VolumetricFlow],
+    ) -> Result<Self, ThermalError> {
+        let flows: Vec<Option<VolumetricFlow>> = flows.iter().map(|&f| Some(f)).collect();
+        Self::build(builder, &flows)
+    }
+
+    /// The shared skeleton.
+    pub fn skeleton(&self) -> &Arc<StackSkeleton> {
+        &self.skeleton
+    }
+
+    /// Number of member models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the family has no members.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// A member model.
+    pub fn model(&self, index: usize) -> &ThermalModel {
+        &self.models[index]
+    }
+
+    /// Mutable access to a member model (solves cache state per member).
+    pub fn model_mut(&mut self, index: usize) -> &mut ThermalModel {
+        &mut self.models[index]
+    }
+
+    /// All member models.
+    pub fn models(&self) -> &[ThermalModel] {
+        &self.models
+    }
+
+    /// Mutable access to all member models.
+    pub fn models_mut(&mut self) -> &mut [ThermalModel] {
+        &mut self.models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThermalConfig;
+    use vfc_floorplan::{ultrasparc, GridSpec};
+    use vfc_units::Length;
+
+    fn flows(ml: &[f64]) -> Vec<VolumetricFlow> {
+        ml.iter()
+            .map(|&m| VolumetricFlow::from_ml_per_minute(m))
+            .collect()
+    }
+
+    #[test]
+    fn family_members_share_one_skeleton_and_structure() {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let family =
+            ThermalModelFamily::for_flows(&builder, &flows(&[208.3, 416.7, 625.0, 833.3, 1041.7]))
+                .unwrap();
+        assert_eq!(family.len(), 5);
+
+        // Acceptance: one skeleton per grid, shared by all 5 settings —
+        // Arc pointer equality, and shared CSR index arrays.
+        for m in family.models() {
+            assert!(
+                Arc::ptr_eq(m.skeleton(), family.skeleton()),
+                "member must share the family skeleton"
+            );
+            assert!(
+                m.conductance_matrix()
+                    .shares_structure(family.skeleton().base_matrix()),
+                "member matrices must share the skeleton's CSR index arrays"
+            );
+        }
+        assert_eq!(
+            Arc::strong_count(family.skeleton()),
+            6,
+            "5 members + family"
+        );
+    }
+
+    #[test]
+    fn patched_models_match_from_scratch_builds() {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.5));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let family = ThermalModelFamily::for_flows(&builder, &flows(&[300.0, 700.0])).unwrap();
+        for (i, &ml) in [300.0, 700.0].iter().enumerate() {
+            let direct = builder
+                .build(Some(VolumetricFlow::from_ml_per_minute(ml)))
+                .unwrap();
+            let member = family.model(i);
+            assert_eq!(
+                member.conductance_matrix().values(),
+                direct.conductance_matrix().values(),
+                "patched values must be entry-identical to a direct build"
+            );
+            assert_eq!(member.boundary_injection(), direct.boundary_injection());
+        }
+    }
+
+    #[test]
+    fn air_family_is_single_member() {
+        let stack = ultrasparc::two_layer_air();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(2.0));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let family = ThermalModelFamily::build(&builder, &[None]).unwrap();
+        assert_eq!(family.len(), 1);
+        assert!(!family.skeleton().is_liquid_cooled());
+        assert_eq!(family.skeleton().flow_slot_count(), 0);
+
+        // Flow mismatches are still enforced through the family path.
+        assert!(matches!(
+            ThermalModelFamily::for_flows(&builder, &flows(&[100.0])),
+            Err(ThermalError::UnexpectedFlowRate)
+        ));
+    }
+}

@@ -17,7 +17,16 @@
 //!
 //! The network is solved with [`vfc_num::BiCgStab`] (advection makes the
 //! conductance matrix nonsymmetric): steady state for initialization and
-//! characterization, backward-Euler transients for simulation.
+//! characterization, backward-Euler transients for simulation. The solver
+//! is preconditioned (ILU(0) by default, selectable via
+//! [`SolverConfig`]); factorizations and Krylov scratch space are cached
+//! per model and invalidated only on flow changes.
+//!
+//! Because the conduction topology is fixed by the stack geometry and
+//! only cavity conductances/advection vary with flow, assembly is split
+//! into an immutable per-grid [`StackSkeleton`] and a cheap per-flow
+//! [`FlowPatch`]; a [`ThermalModelFamily`] holds one model per pump
+//! setting, all sharing the skeleton's CSR index arrays.
 //!
 //! # Example
 //!
@@ -34,6 +43,9 @@
 //! let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
 //! let flow = vfc_units::VolumetricFlow::from_ml_per_minute(500.0);
 //! let mut model = builder.build(Some(flow)).unwrap();
+//! // Several pump settings? Build a family instead: one shared skeleton,
+//! // one cheap flow patch per setting.
+//! // let family = ThermalModelFamily::for_flows(&builder, &flows)?;
 //!
 //! // 3 W on every core, nothing elsewhere.
 //! let power = model.uniform_block_power(&stack, |b| {
@@ -50,14 +62,16 @@
 mod build;
 mod config;
 mod error;
+mod family;
 pub mod material;
 mod model;
 mod sensors;
 mod validate;
 
 pub use self::build::StackThermalBuilder;
-pub use self::config::{AirPackageConfig, LiquidCoolingConfig, ThermalConfig};
+pub use self::config::{AirPackageConfig, LiquidCoolingConfig, SolverConfig, ThermalConfig};
 pub use self::error::ThermalError;
+pub use self::family::{FlowPatch, StackSkeleton, ThermalModelFamily};
 pub use self::model::{NodeLayout, ThermalModel};
 pub use self::sensors::{BlockTemperatures, SensorNoise};
 pub use self::validate::energy_balance_residual;

@@ -1,10 +1,12 @@
 //! The assembled RC network: node layout, steady-state and transient
 //! solvers.
 
-use vfc_num::{BiCgStab, CsrBuilder, CsrMatrix};
-use vfc_units::{Celsius, Seconds, Watts};
+use std::sync::Arc;
 
-use crate::ThermalError;
+use vfc_num::{BiCgStab, CsrMatrix, Preconditioner, SolverWorkspace};
+use vfc_units::{Celsius, Seconds, VolumetricFlow, Watts};
+
+use crate::{FlowPatch, StackSkeleton, ThermalError};
 
 /// Where each physical entity lives in the flat node vector.
 ///
@@ -103,58 +105,154 @@ impl NodeLayout {
     }
 }
 
+/// Cached backward-Euler operator for one sub-step length.
+#[derive(Debug)]
+struct BeCache {
+    /// Bit pattern of the sub-step length `h`.
+    key: u64,
+    /// `C/h + G` on the shared pattern.
+    matrix: CsrMatrix,
+    /// Preconditioner factored on `matrix`.
+    precond: Box<dyn Preconditioner>,
+}
+
 /// An assembled thermal RC network for one stack at one coolant flow rate.
 ///
-/// Produced by [`StackThermalBuilder`](crate::StackThermalBuilder). The
-/// conductance matrix is fixed; changing the flow rate means building a new
-/// model (the five pump settings are typically all built once and cached).
-#[derive(Debug, Clone)]
+/// Produced by [`StackThermalBuilder`](crate::StackThermalBuilder) (or as
+/// a member of a [`ThermalModelFamily`](crate::ThermalModelFamily)). Every
+/// model holds an [`Arc`] to its grid's immutable [`StackSkeleton`]; the
+/// conductance matrix shares the skeleton's CSR index arrays and owns only
+/// the patched value array. [`set_flow`](Self::set_flow) re-patches the
+/// flow-dependent entries in place — no reassembly.
+///
+/// Solver state (preconditioner factorizations, Krylov scratch space, the
+/// backward-Euler operator) is cached inside the model and reused across
+/// solves; it is invalidated only when the flow changes.
+#[derive(Debug)]
 pub struct ThermalModel {
+    pub(crate) skeleton: Arc<StackSkeleton>,
+    /// Patched conductance matrix (values owned, structure shared).
     pub(crate) g: CsrMatrix,
-    pub(crate) cap: Vec<f64>,
-    /// Boundary injection `Σ G_b·T_b` per node.
+    /// Boundary injection `Σ G_b·T_b` per node at the current flow.
     pub(crate) b0: Vec<f64>,
     /// `(node, conductance, boundary temperature)` links for validation.
     pub(crate) boundary_links: Vec<(usize, f64, f64)>,
-    pub(crate) layout: NodeLayout,
-    /// Reference temperature used for cold starts (coolant inlet or
-    /// ambient).
-    pub(crate) reference: f64,
+    /// Current flow (`None` for air-cooled).
+    flow: Option<VolumetricFlow>,
     pub(crate) solver: BiCgStab,
-    /// Cached backward-Euler matrix keyed by the bit pattern of the
-    /// sub-step length.
-    be_cache: Option<(u64, CsrMatrix)>,
+    /// Krylov scratch space reused by every solve on this model.
+    workspace: SolverWorkspace,
+    /// Reusable rhs buffer for steady-state solves.
+    rhs_buf: Vec<f64>,
+    /// Preconditioner factored on `g`, built lazily, dropped on re-patch.
+    steady_precond: Option<Box<dyn Preconditioner>>,
+    /// Cached backward-Euler operator + preconditioner, keyed by the bit
+    /// pattern of the sub-step length; dropped on re-patch.
+    be_cache: Option<BeCache>,
+}
+
+impl Clone for ThermalModel {
+    /// Clones the model state; lazily built solver caches are not carried
+    /// over (they are rebuilt on first use).
+    fn clone(&self) -> Self {
+        Self {
+            skeleton: Arc::clone(&self.skeleton),
+            g: self.g.clone(),
+            b0: self.b0.clone(),
+            boundary_links: self.boundary_links.clone(),
+            flow: self.flow,
+            solver: self.solver,
+            workspace: SolverWorkspace::new(),
+            rhs_buf: Vec::new(),
+            steady_precond: None,
+            be_cache: None,
+        }
+    }
 }
 
 impl ThermalModel {
-    pub(crate) fn new(
-        g: CsrMatrix,
-        cap: Vec<f64>,
-        b0: Vec<f64>,
-        boundary_links: Vec<(usize, f64, f64)>,
-        layout: NodeLayout,
-        reference: f64,
+    /// Instantiates a model from its grid skeleton at one flow; flow
+    /// validity is checked by [`StackSkeleton::model`].
+    pub(crate) fn from_skeleton(
+        skeleton: Arc<StackSkeleton>,
+        flow: Option<VolumetricFlow>,
     ) -> Self {
+        let n = skeleton.layout.node_count;
+        let mut g = skeleton.g_base.clone();
+        let mut b0 = vec![0.0; n];
+        let mut boundary_links = Vec::with_capacity(skeleton.links_plan.len());
+        match flow {
+            Some(f) => {
+                let patch = FlowPatch::compute(&skeleton, f);
+                skeleton.apply_patch(&patch, &mut g, &mut b0, &mut boundary_links);
+            }
+            None => {
+                b0.copy_from_slice(&skeleton.b0_base);
+                for plan in &skeleton.links_plan {
+                    if let crate::family::LinkPlan::Static { node, g, temp } = *plan {
+                        boundary_links.push((node, g, temp));
+                    }
+                }
+            }
+        }
+        let solver = skeleton.config.solver.bicgstab();
         Self {
+            skeleton,
             g,
-            cap,
             b0,
             boundary_links,
-            layout,
-            reference,
-            solver: BiCgStab::default(),
+            flow,
+            solver,
+            workspace: SolverWorkspace::new(),
+            rhs_buf: Vec::new(),
+            steady_precond: None,
             be_cache: None,
         }
     }
 
+    /// The grid skeleton this model shares with its family.
+    pub fn skeleton(&self) -> &Arc<StackSkeleton> {
+        &self.skeleton
+    }
+
+    /// The current coolant flow (`None` for air-cooled models).
+    pub fn flow(&self) -> Option<VolumetricFlow> {
+        self.flow
+    }
+
+    /// Re-patches the model to a new flow rate in place: only the cavity
+    /// convection/advection values, the inlet injection and the outlet
+    /// links are rewritten; the CSR structure, conduction entries and node
+    /// layout are untouched. Solver caches are invalidated (this is the
+    /// only operation that invalidates them).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::UnexpectedFlowRate`] on air-cooled models.
+    pub fn set_flow(&mut self, flow: VolumetricFlow) -> Result<(), ThermalError> {
+        if !self.skeleton.liquid {
+            return Err(ThermalError::UnexpectedFlowRate);
+        }
+        if self.flow == Some(flow) {
+            return Ok(());
+        }
+        let patch = FlowPatch::compute(&self.skeleton, flow);
+        let skeleton = Arc::clone(&self.skeleton);
+        skeleton.apply_patch(&patch, &mut self.g, &mut self.b0, &mut self.boundary_links);
+        self.flow = Some(flow);
+        self.steady_precond = None;
+        self.be_cache = None;
+        Ok(())
+    }
+
     /// The node layout of this model.
     pub fn layout(&self) -> &NodeLayout {
-        &self.layout
+        &self.skeleton.layout
     }
 
     /// Total node count.
     pub fn node_count(&self) -> usize {
-        self.layout.node_count
+        self.skeleton.layout.node_count
     }
 
     /// The conductance matrix (diagnostics, tests).
@@ -172,17 +270,17 @@ impl ThermalModel {
     /// A state vector initialized to the model's reference temperature
     /// (coolant inlet for liquid stacks, ambient for air).
     pub fn initial_state(&self) -> Vec<f64> {
-        vec![self.reference; self.layout.node_count]
+        vec![self.skeleton.reference; self.skeleton.layout.node_count]
     }
 
     /// The reference (cold-start) temperature.
     pub fn reference_temperature(&self) -> Celsius {
-        Celsius::new(self.reference)
+        Celsius::new(self.skeleton.reference)
     }
 
     /// A zero power vector of the right length.
     pub fn zero_power(&self) -> Vec<f64> {
-        vec![0.0; self.layout.node_count]
+        vec![0.0; self.skeleton.layout.node_count]
     }
 
     /// Builds a node power vector by assigning each block a total power
@@ -192,6 +290,7 @@ impl ThermalModel {
         stack: &vfc_floorplan::Stack3d,
         per_block: impl Fn(&vfc_floorplan::Block) -> Watts,
     ) -> Vec<f64> {
+        let layout = &self.skeleton.layout;
         let mut p = self.zero_power();
         for (t, tier) in stack.tiers().iter().enumerate() {
             for (bi, block) in tier.floorplan().blocks().iter().enumerate() {
@@ -199,14 +298,14 @@ impl ThermalModel {
                 if w == 0.0 {
                     continue;
                 }
-                let cells = self.layout.tier_block_cell_counts[t][bi];
+                let cells = layout.tier_block_cell_counts[t][bi];
                 if cells == 0 {
                     continue;
                 }
                 let per_cell = w / cells as f64;
-                for (flat, &b) in self.layout.tier_cell_block[t].iter().enumerate() {
+                for (flat, &b) in layout.tier_cell_block[t].iter().enumerate() {
                     if b == bi {
-                        p[self.layout.tier_offsets[t] + flat] += per_cell;
+                        p[layout.tier_offsets[t] + flat] += per_cell;
                     }
                 }
             }
@@ -222,15 +321,16 @@ impl ThermalModel {
     /// Panics if `power.len()` differs from the node count or indices are
     /// out of range.
     pub fn add_block_power(&self, power: &mut [f64], tier: usize, block: usize, watts: Watts) {
-        assert_eq!(power.len(), self.layout.node_count, "power length");
-        let cells = self.layout.tier_block_cell_counts[tier][block];
+        let layout = &self.skeleton.layout;
+        assert_eq!(power.len(), layout.node_count, "power length");
+        let cells = layout.tier_block_cell_counts[tier][block];
         if cells == 0 || watts.value() == 0.0 {
             return;
         }
         let per_cell = watts.value() / cells as f64;
-        for (flat, &b) in self.layout.tier_cell_block[tier].iter().enumerate() {
+        for (flat, &b) in layout.tier_cell_block[tier].iter().enumerate() {
             if b == block {
-                power[self.layout.tier_offsets[tier] + flat] += per_cell;
+                power[layout.tier_offsets[tier] + flat] += per_cell;
             }
         }
     }
@@ -238,33 +338,58 @@ impl ThermalModel {
     /// Solves the steady state `G·T = P + b₀`.
     ///
     /// `warm` seeds the iterative solver (e.g. the previous operating
-    /// point); otherwise the reference temperature is used.
+    /// point); otherwise the reference temperature is used. The
+    /// preconditioner is factored on first use and reused until the flow
+    /// changes; the Krylov scratch space is reused across all solves.
     ///
     /// # Errors
     ///
     /// [`ThermalError::PowerLengthMismatch`] or a solver failure.
     pub fn steady_state(
-        &self,
+        &mut self,
         power: &[f64],
         warm: Option<&[f64]>,
     ) -> Result<Vec<f64>, ThermalError> {
-        if power.len() != self.layout.node_count {
+        let n = self.skeleton.layout.node_count;
+        if power.len() != n {
             return Err(ThermalError::PowerLengthMismatch {
-                expected: self.layout.node_count,
+                expected: n,
                 got: power.len(),
             });
         }
+        self.rhs_buf.resize(n, 0.0);
+        for i in 0..n {
+            self.rhs_buf[i] = power[i] + self.b0[i];
+        }
+        if self.steady_precond.is_none() {
+            self.steady_precond = Some(self.skeleton.config.solver.preconditioner.build(&self.g)?);
+        }
+        let precond = self
+            .steady_precond
+            .as_deref()
+            .expect("factored immediately above");
         let mut x = match warm {
-            Some(w) if w.len() == self.layout.node_count => w.to_vec(),
-            _ => self.initial_state(),
+            Some(w) if w.len() == n => w.to_vec(),
+            _ => {
+                // Cold start: one preconditioner application to the rhs is
+                // already an approximate solution (exactly the solution for
+                // a tridiagonal-complete factorization) and beats seeding
+                // with the flat reference temperature.
+                let mut x0 = vec![0.0; n];
+                precond.apply(&self.rhs_buf, &mut x0);
+                x0
+            }
         };
-        let rhs: Vec<f64> = power.iter().zip(&self.b0).map(|(p, b)| p + b).collect();
-        self.solver.solve(&self.g, &rhs, &mut x)?;
+        self.solver
+            .solve_with(&self.g, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
         Ok(x)
     }
 
     /// Advances the transient state by `dt` using `substeps` backward-Euler
     /// sub-steps (the power is held constant over the interval).
+    ///
+    /// The backward-Euler operator `C/h + G` and its preconditioner are
+    /// cached per sub-step length and reused until the flow changes.
     ///
     /// # Errors
     ///
@@ -277,7 +402,7 @@ impl ThermalModel {
         dt: Seconds,
         substeps: usize,
     ) -> Result<(), ThermalError> {
-        let n = self.layout.node_count;
+        let n = self.skeleton.layout.node_count;
         if power.len() != n {
             return Err(ThermalError::PowerLengthMismatch {
                 expected: n,
@@ -294,28 +419,35 @@ impl ThermalModel {
             return Err(ThermalError::InvalidTimeStep);
         }
         let h = dt.value() / substeps as f64;
-        self.ensure_be_matrix(h);
-        let a = &self
+        self.ensure_be_matrix(h)?;
+        let be = self
             .be_cache
             .as_ref()
-            .expect("ensure_be_matrix populates the cache")
-            .1;
-        let mut rhs = vec![0.0; n];
+            .expect("ensure_be_matrix populates the cache");
+        let cap = &self.skeleton.cap;
+        self.rhs_buf.resize(n, 0.0);
         for _ in 0..substeps {
             for i in 0..n {
-                rhs[i] = self.cap[i] / h * temps[i] + power[i] + self.b0[i];
+                self.rhs_buf[i] = cap[i] / h * temps[i] + power[i] + self.b0[i];
             }
-            self.solver.solve(a, &rhs, temps)?;
+            self.solver.solve_with(
+                &be.matrix,
+                &self.rhs_buf,
+                temps,
+                be.precond.as_ref(),
+                &mut self.workspace,
+            )?;
         }
         Ok(())
     }
 
     /// Maximum junction (tier-node) temperature.
     pub fn max_junction_temperature(&self, temps: &[f64]) -> Celsius {
+        let layout = &self.skeleton.layout;
         let mut max = f64::NEG_INFINITY;
-        for t in 0..self.layout.tier_count() {
-            let off = self.layout.tier_offsets[t];
-            for i in 0..self.layout.cells_per_layer() {
+        for t in 0..layout.tier_count() {
+            let off = layout.tier_offsets[t];
+            for i in 0..layout.cells_per_layer() {
                 max = max.max(temps[off + i]);
             }
         }
@@ -324,7 +456,7 @@ impl ThermalModel {
 
     /// Temperature of a specific tier cell.
     pub fn cell_temperature(&self, temps: &[f64], tier: usize, row: usize, col: usize) -> Celsius {
-        Celsius::new(temps[self.layout.tier_node(tier, row, col)])
+        Celsius::new(temps[self.skeleton.layout.tier_node(tier, row, col)])
     }
 
     /// Total power crossing the model boundary (into ambient/coolant) for
@@ -337,19 +469,25 @@ impl ThermalModel {
         Watts::new(q)
     }
 
-    fn ensure_be_matrix(&mut self, h: f64) {
+    /// Builds (or reuses) the backward-Euler operator `C/h + G` for the
+    /// given sub-step; the matrix shares the skeleton's CSR structure and
+    /// only its diagonal differs from `g` by `cap/h`.
+    fn ensure_be_matrix(&mut self, h: f64) -> Result<(), ThermalError> {
         let key = h.to_bits();
-        if matches!(&self.be_cache, Some((k, _)) if *k == key) {
-            return;
+        if matches!(&self.be_cache, Some(c) if c.key == key) {
+            return Ok(());
         }
-        let n = self.layout.node_count;
-        let mut b = CsrBuilder::new(n);
-        for i in 0..n {
-            b.add(i, i, self.cap[i] / h);
-            for (j, v) in self.g.row(i) {
-                b.add(i, j, v);
-            }
+        let mut matrix = self.g.clone();
+        let values = matrix.values_mut();
+        for (i, &di) in self.skeleton.diag_idx.iter().enumerate() {
+            values[di as usize] += self.skeleton.cap[i] / h;
         }
-        self.be_cache = Some((key, b.build()));
+        let precond = self.skeleton.config.solver.preconditioner.build(&matrix)?;
+        self.be_cache = Some(BeCache {
+            key,
+            matrix,
+            precond,
+        });
+        Ok(())
     }
 }

@@ -22,19 +22,43 @@ pub struct BlockTemperatures {
 impl BlockTemperatures {
     /// Extracts block temperatures from a node state.
     ///
+    /// Allocating variant of [`extract_into`](Self::extract_into); hot
+    /// loops should allocate once and refill.
+    ///
     /// # Panics
     ///
     /// Panics if `temps.len()` differs from the model's node count.
     pub fn extract(model: &ThermalModel, temps: &[f64]) -> Self {
+        let mut this = Self {
+            max: Vec::new(),
+            mean: Vec::new(),
+        };
+        this.extract_into(model, temps);
+        this
+    }
+
+    /// Refills `self` from a node state without allocating (after the
+    /// first call sized the per-tier buffers). The engine re-extracts
+    /// every 100 ms sample, so this keeps the sample loop allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps.len()` differs from the model's node count.
+    pub fn extract_into(&mut self, model: &ThermalModel, temps: &[f64]) {
         let layout = model.layout();
         assert_eq!(temps.len(), layout.node_count(), "state length");
         let cells = layout.cells_per_layer();
-        let mut max = Vec::with_capacity(layout.tier_count());
-        let mut mean = Vec::with_capacity(layout.tier_count());
-        for t in 0..layout.tier_count() {
+        let tiers = layout.tier_count();
+        self.max.resize(tiers, Vec::new());
+        self.mean.resize(tiers, Vec::new());
+        for t in 0..tiers {
             let blocks = layout.tier_block_cell_counts[t].len();
-            let mut bmax = vec![f64::NEG_INFINITY; blocks];
-            let mut bsum = vec![0.0; blocks];
+            let bmax = &mut self.max[t];
+            let bsum = &mut self.mean[t];
+            bmax.clear();
+            bmax.resize(blocks, f64::NEG_INFINITY);
+            bsum.clear();
+            bsum.resize(blocks, 0.0);
             let off = layout.tier_offsets[t];
             for flat in 0..cells {
                 let b = layout.tier_cell_block[t][flat];
@@ -48,10 +72,7 @@ impl BlockTemperatures {
                 let n = layout.tier_block_cell_counts[t][b];
                 bsum[b] = if n > 0 { bsum[b] / n as f64 } else { f64::NAN };
             }
-            max.push(bmax);
-            mean.push(bsum);
         }
-        Self { max, mean }
     }
 
     /// Hottest cell of a block.
@@ -68,6 +89,14 @@ impl BlockTemperatures {
     /// `(tier, block)` order — the controller's `Tmax` input.
     pub fn core_max_temperatures(&self, stack: &Stack3d) -> Vec<Celsius> {
         let mut out = Vec::new();
+        self.core_max_temperatures_into(stack, &mut out);
+        out
+    }
+
+    /// Refills `out` with the per-core maxima without allocating (once
+    /// `out` has reached the core count).
+    pub fn core_max_temperatures_into(&self, stack: &Stack3d, out: &mut Vec<Celsius>) {
+        out.clear();
         for (t, tier) in stack.tiers().iter().enumerate() {
             for (b, blk) in tier.floorplan().blocks().iter().enumerate() {
                 if blk.is_core() {
@@ -75,7 +104,6 @@ impl BlockTemperatures {
                 }
             }
         }
-        out
     }
 
     /// Maximum over every block in the stack (units, not just cores) —
@@ -156,7 +184,7 @@ mod tests {
         let stack = ultrasparc::two_layer_liquid();
         let grid =
             GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
-        let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
+        let mut model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
             .build(Some(VolumetricFlow::from_ml_per_minute(400.0)))
             .unwrap();
         let p = model.uniform_block_power(&stack, |b| {
@@ -190,6 +218,23 @@ mod tests {
         assert!(bt.block_max(0, 0).value() > bt.block_max(1, 0).value());
         assert!(bt.max_spatial_gradient().value() > 0.1);
         assert!(bt.block_mean(0, 0).value() <= bt.block_max(0, 0).value());
+    }
+
+    #[test]
+    fn extract_into_refills_match_fresh_extraction() {
+        let (model, temps, stack) = model_and_temps();
+        let fresh = BlockTemperatures::extract(&model, &temps);
+
+        // Seed a reusable extractor with a *different* state, then refill
+        // with the real one: results must equal a fresh extraction.
+        let cold = model.initial_state();
+        let mut reused = BlockTemperatures::extract(&model, &cold);
+        reused.extract_into(&model, &temps);
+        assert_eq!(reused, fresh);
+
+        let mut out = Vec::new();
+        reused.core_max_temperatures_into(&stack, &mut out);
+        assert_eq!(out, fresh.core_max_temperatures(&stack));
     }
 
     #[test]

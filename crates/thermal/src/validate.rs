@@ -48,7 +48,7 @@ mod tests {
         let stack = ultrasparc::two_layer_liquid();
         let grid =
             GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
-        let model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
+        let mut model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
             .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
             .unwrap();
         let p = model.uniform_block_power(&stack, |b| {

@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("setting  per-cavity ml/min  Tmax (C)  outlet coolant (C)");
     for s in pump.flow_settings() {
         let flow = pump.per_cavity_flow(s, stack.cavity_count());
-        let model = builder.build(Some(flow))?;
+        let mut model = builder.build(Some(flow))?;
         let p = model.uniform_block_power(&stack, |b| match b.kind() {
             BlockKind::Core => Watts::new(8.0), // dense accelerator tiles
             BlockKind::L2Cache => Watts::new(1.5),

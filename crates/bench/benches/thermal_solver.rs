@@ -12,14 +12,7 @@ use vfc::floorplan::{ultrasparc, GridSpec};
 use vfc::num::PreconditionerKind;
 use vfc::thermal::{StackThermalBuilder, ThermalConfig};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
-
-fn precond_label(kind: PreconditionerKind) -> &'static str {
-    match kind {
-        PreconditionerKind::Identity => "none",
-        PreconditionerKind::Jacobi => "jacobi",
-        PreconditionerKind::Ilu0 => "ilu0",
-    }
-}
+use vfc_bench::perf::precond_label;
 
 fn steady_state(c: &mut Criterion) {
     let mut group = c.benchmark_group("steady_state");
@@ -38,7 +31,11 @@ fn steady_state(c: &mut Criterion) {
                 stack.tiers()[0].floorplan(),
                 Length::from_millimeters(cell_mm),
             );
-            for kind in [PreconditionerKind::Identity, PreconditionerKind::Ilu0] {
+            for kind in [
+                PreconditionerKind::Identity,
+                PreconditionerKind::Ilu0,
+                PreconditionerKind::MulticolorGs,
+            ] {
                 let mut cfg = ThermalConfig::default();
                 cfg.solver.preconditioner = kind;
                 let builder = StackThermalBuilder::new(&stack, grid, cfg);

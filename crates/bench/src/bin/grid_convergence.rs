@@ -15,10 +15,11 @@
 use std::time::Instant;
 
 use vfc::floorplan::{ultrasparc, BlockKind, GridSpec};
-use vfc::num::PreconditionerKind;
+use vfc::num::{KernelPool, PreconditionerKind};
 use vfc::prelude::*;
 use vfc::thermal::{StackThermalBuilder, ThermalConfig};
 use vfc::units::{Length, VolumetricFlow, Watts};
+use vfc_bench::perf::{precond_label, report_bench_records, PerfRecord};
 
 /// Median steady-solve time over `reps` repeats (cold start each solve;
 /// preconditioner factored once and cached inside the model).
@@ -42,13 +43,15 @@ fn main() {
     let stack = ultrasparc::two_layer_liquid();
     let pump = Pump::laing_ddc();
     let flow: VolumetricFlow = pump.per_cavity_flow(pump.setting(2).unwrap(), 3);
+    let threads = KernelPool::global().threads();
+    let mut records: Vec<PerfRecord> = Vec::new();
 
     let mut cells = vec![2.0, 1.0, 0.5, 0.25];
     if fine {
         cells.push(0.1); // the paper's grid
     }
     println!(
-        "Grid convergence, 2-layer liquid stack, setting 3 ({:.0} ml/min/cavity):",
+        "Grid convergence, 2-layer liquid stack, setting 3 ({:.0} ml/min/cavity), {threads} solver thread(s):",
         flow.to_ml_per_minute()
     );
     println!(
@@ -85,6 +88,14 @@ fn main() {
             let (ms, tmax) = time_solve(&mut model, &p, reps);
             times[i] = ms;
             tmaxes[i] = tmax;
+            records.push(PerfRecord {
+                case: "steady".into(),
+                grid_mm: cell,
+                nodes,
+                precond: precond_label(kind).into(),
+                threads,
+                ms,
+            });
         }
         // All three preconditioners solve to the same 1e-10 residual; the
         // answers must agree far below the printed precision.
@@ -113,4 +124,5 @@ fn main() {
     println!(" cached, as in the engine's 100 ms sample loop; the controller LUT is");
     println!(" characterized on the same grid it controls, so resolution shifts both");
     println!(" sides of the comparison consistently)");
+    report_bench_records("grid_convergence", &records);
 }

@@ -1,0 +1,170 @@
+//! Transient-path benchmark: the cost of one 100 ms sample (5
+//! backward-Euler sub-steps) versus grid resolution and kernel-pool
+//! thread count — the workload behind the paper's Fig. 6/7 runs, which
+//! take 3000 such samples per configuration.
+//!
+//! Alternates two power maps between samples so the warm-seed
+//! short-circuit cannot trivialize the solve (the steady tail of a real
+//! workload *is* trivialized by it — that case is reported separately),
+//! and cross-checks that every thread count lands bit-identical
+//! temperatures before reporting its timing.
+//!
+//! Usage: `transient_bench [--fine] [--threads 1,2,8] [--no-seed]`
+//!   `--fine`     adds the paper-native 100 µm grid (~58k nodes)
+//!   `--threads`  comma-separated pool sizes (default: 1 and the
+//!                machine's available parallelism, when that is > 1)
+//!   `--no-seed`  disable the M⁻¹r warm seed (the PR 3 stepping path;
+//!                ablation baseline for the seed's iteration savings)
+//!
+//! Writes `target/bench/BENCH_transient.json` (see `vfc_bench::perf`).
+
+use std::time::Instant;
+
+use vfc::floorplan::{ultrasparc, GridSpec};
+use vfc::num::KernelPool;
+use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
+use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
+use vfc_bench::perf::{report_bench_records, PerfRecord};
+
+/// Samples timed per (grid, threads) cell.
+const SAMPLES: usize = 10;
+
+fn parse_threads() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if let Some(list) = args.get(i + 1) {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            if !parsed.is_empty() {
+                return parsed;
+            }
+        }
+        eprintln!("--threads expects a comma-separated list of positive integers");
+        std::process::exit(2);
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if hw > 1 {
+        vec![1, hw]
+    } else {
+        vec![1]
+    }
+}
+
+/// Median wall-clock ms of one 100 ms sample (5 sub-steps), alternating
+/// power maps; returns (median ms, total Krylov iterations, final temps).
+fn time_transient(
+    model: &mut ThermalModel,
+    p_low: &[f64],
+    p_high: &[f64],
+) -> (f64, usize, Vec<f64>) {
+    let mut temps = model.steady_state(p_low, None).expect("steady start");
+    // Warm-up sample: factors the BE operator, sizes the scratch.
+    model
+        .step(&mut temps, p_high, Seconds::from_millis(100.0), 5)
+        .expect("warm-up step");
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut iterations = 0usize;
+    for s in 0..SAMPLES {
+        let p = if s % 2 == 0 { p_low } else { p_high };
+        let t0 = Instant::now();
+        model
+            .step(&mut temps, p, Seconds::from_millis(100.0), 5)
+            .expect("step");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        iterations += model.last_step_iterations();
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], iterations, temps)
+}
+
+fn main() {
+    let fine = std::env::args().any(|a| a == "--fine");
+    let no_seed = std::env::args().any(|a| a == "--no-seed");
+    let threads = parse_threads();
+    let stack = ultrasparc::two_layer_liquid();
+    let flow = VolumetricFlow::from_ml_per_minute(600.0);
+    let mut cells = vec![1.0, 0.5, 0.25];
+    if fine {
+        cells.push(0.1); // the paper's grid
+    }
+
+    println!("Transient 100 ms sample (5 backward-Euler sub-steps), 2-layer liquid stack");
+    println!(
+        "{:>9} {:>10} {:>9} {:>12} {:>9} {:>9}",
+        "cell mm", "nodes", "threads", "sample ms", "iters", "speedup"
+    );
+    let mut records = Vec::new();
+    for &cell in &cells {
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let mut base_ms = None;
+        let mut reference: Option<(usize, Vec<f64>)> = None;
+        for &t in &threads {
+            let mut model = builder.build(Some(flow)).expect("build");
+            model.set_kernel_pool(KernelPool::new(t));
+            model.set_transient_warm_seed(!no_seed);
+            let p_low = model.uniform_block_power(&stack, |b| {
+                if b.is_core() {
+                    Watts::new(1.5)
+                } else {
+                    Watts::new(0.4)
+                }
+            });
+            let p_high = model.uniform_block_power(&stack, |b| {
+                if b.is_core() {
+                    Watts::new(3.5)
+                } else {
+                    Watts::new(0.6)
+                }
+            });
+            let (ms, iters, temps) = time_transient(&mut model, &p_low, &p_high);
+            // Determinism gate: every thread count must land the same
+            // bits and spend the same iterations.
+            match &reference {
+                None => reference = Some((iters, temps)),
+                Some((ref_iters, ref_temps)) => {
+                    assert_eq!(iters, *ref_iters, "iteration count changed at {t} threads");
+                    assert!(
+                        temps
+                            .iter()
+                            .zip(ref_temps)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "temperatures diverged at {t} threads"
+                    );
+                }
+            }
+            let speedup = base_ms.get_or_insert(ms);
+            println!(
+                "{:>9.2} {:>10} {:>9} {:>12.2} {:>9} {:>8.2}x",
+                cell,
+                model.node_count(),
+                t,
+                ms,
+                iters,
+                *speedup / ms.max(1e-9),
+            );
+            records.push(PerfRecord {
+                case: if no_seed {
+                    "transient-noseed".into()
+                } else {
+                    "transient".into()
+                },
+                grid_mm: cell,
+                nodes: model.node_count(),
+                precond: "ilu0".into(),
+                threads: t,
+                ms,
+            });
+        }
+    }
+    println!("\n(sample = 100 ms of simulated time; power alternates between samples so");
+    println!(" the warm-seed short-circuit cannot skip sub-steps — on a steady workload");
+    println!(" a converged sample costs one matvec and two norms instead)");
+    report_bench_records("transient", &records);
+}

@@ -1,0 +1,175 @@
+//! Transient-path regression smoke for CI: deterministic gates on the
+//! warm-seeded, pool-parallel backward-Euler stepping (mirrors
+//! `solver_smoke`, which gates the steady path).
+//!
+//! Timing is useless on shared runners, so everything asserted here is
+//! exact for a given matrix and solver:
+//!
+//! * a power-step transient on the 0.25 mm liquid grid (9200 nodes —
+//!   above `PAR_MIN_LEN`, so the pooled matvecs, reductions and
+//!   level-scheduled sweeps genuinely run multi-threaded) lands
+//!   bit-identical temperatures and iteration counts on 1-, 2- and
+//!   4-thread kernel pools (the determinism-by-partitioning contract);
+//! * the per-sample Krylov iteration total stays inside a budget a
+//!   regressed solver or preconditioner would blow through;
+//! * the `M⁻¹r` warm seed never costs iterations versus the plain warm
+//!   start, and saves some over the run;
+//! * stepping from a converged state short-circuits at zero iterations
+//!   without touching a single bit of the state.
+
+use vfc::floorplan::{ultrasparc, GridSpec};
+use vfc::num::{KernelPool, PAR_MIN_LEN};
+use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
+use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
+
+const SAMPLES: usize = 20;
+const SUBSTEPS: usize = 5;
+
+/// Runs the power-step scenario; returns per-sample iteration counts and
+/// the final state.
+fn run_scenario(model: &mut ThermalModel) -> (Vec<usize>, Vec<f64>) {
+    let stack = ultrasparc::two_layer_liquid();
+    let p_low = model.uniform_block_power(&stack, |b| {
+        if b.is_core() {
+            Watts::new(1.2)
+        } else {
+            Watts::new(0.4)
+        }
+    });
+    let p_high = model.uniform_block_power(&stack, |b| {
+        if b.is_core() {
+            Watts::new(3.2)
+        } else {
+            Watts::new(0.6)
+        }
+    });
+    let mut temps = model.steady_state(&p_low, None).expect("steady start");
+    let mut iters = Vec::with_capacity(SAMPLES);
+    for s in 0..SAMPLES {
+        // Step up, hold, step down, hold — exercises both the hard
+        // (power jump) and easy (converging tail) sample shapes.
+        let p = if (s / 5) % 2 == 0 { &p_high } else { &p_low };
+        model
+            .step(&mut temps, p, Seconds::from_millis(100.0), SUBSTEPS)
+            .expect("step");
+        iters.push(model.last_step_iterations());
+    }
+    (iters, temps)
+}
+
+fn build_model(threads: usize) -> ThermalModel {
+    let stack = ultrasparc::two_layer_liquid();
+    let grid =
+        GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(0.25));
+    let mut model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
+        .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
+        .expect("build");
+    model.set_kernel_pool(KernelPool::new(threads));
+    model
+}
+
+fn main() {
+    let mut reference: Option<(Vec<usize>, Vec<f64>)> = None;
+    println!("transient smoke: liquid 0.25 mm grid, {SAMPLES} samples x {SUBSTEPS} sub-steps");
+    for threads in [1usize, 2, 4] {
+        let mut model = build_model(threads);
+        let n = model.node_count();
+        // The parallel kernels only engage at PAR_MIN_LEN and above; a
+        // smaller grid would compare serial runs against serial runs
+        // and gate nothing.
+        assert!(
+            n >= PAR_MIN_LEN,
+            "smoke grid must engage the parallel paths, got {n} nodes"
+        );
+        let (iters, temps) = run_scenario(&mut model);
+        let total: usize = iters.iter().sum();
+        println!(
+            "{threads} thread(s): {total:>4} Krylov iterations, per-sample {:?}",
+            &iters[..6.min(iters.len())]
+        );
+        match &reference {
+            None => {
+                // Deterministic budget: the scenario measures 560
+                // iterations with ILU(0) + warm seed; the headroom
+                // only lets a real regression (lost preconditioner,
+                // broken warm start) trip it.
+                assert!(
+                    total <= 900,
+                    "transient iteration budget regressed: {total} > 900"
+                );
+                assert!(total > 0, "scenario must exercise the solver");
+                reference = Some((iters, temps));
+            }
+            Some((ref_iters, ref_temps)) => {
+                assert_eq!(
+                    &iters, ref_iters,
+                    "iteration counts changed at {threads} threads"
+                );
+                let identical = temps
+                    .iter()
+                    .zip(ref_temps)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "temperatures diverged at {threads} threads");
+            }
+        }
+    }
+
+    // Warm seed: never worse per sample, strictly better over the run.
+    let mut plain = build_model(2);
+    plain.set_transient_warm_seed(false);
+    let (plain_iters, plain_temps) = run_scenario(&mut plain);
+    let (seeded_iters, seeded_temps) = reference.expect("reference recorded");
+    assert!(
+        seeded_iters.iter().zip(&plain_iters).all(|(s, p)| s <= p),
+        "warm seed cost iterations somewhere: {seeded_iters:?} vs {plain_iters:?}"
+    );
+    let (seeded_total, plain_total): (usize, usize) =
+        (seeded_iters.iter().sum(), plain_iters.iter().sum());
+    assert!(
+        seeded_total < plain_total,
+        "warm seed saved nothing: {seeded_total} vs {plain_total}"
+    );
+    assert_eq!(seeded_temps.len(), plain_temps.len());
+    let max_dev = seeded_temps
+        .iter()
+        .zip(&plain_temps)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_dev < 1e-6,
+        "warm seed moved converged temperatures by {max_dev} K"
+    );
+    println!(
+        "warm seed: {seeded_total} vs {plain_total} iterations (plain), max |dT| {max_dev:.2e} K"
+    );
+
+    // Short-circuit: stepping from the converged state is a bit-exact
+    // no-op at zero iterations.
+    let mut model = build_model(2);
+    let stack = ultrasparc::two_layer_liquid();
+    let p = model.uniform_block_power(&stack, |b| {
+        if b.is_core() {
+            Watts::new(2.0)
+        } else {
+            Watts::new(0.5)
+        }
+    });
+    let steady = model.steady_state(&p, None).expect("steady");
+    let mut temps = steady.clone();
+    model
+        .step(&mut temps, &p, Seconds::from_millis(100.0), SUBSTEPS)
+        .expect("step");
+    assert_eq!(
+        model.last_step_iterations(),
+        0,
+        "converged sample must short-circuit"
+    );
+    assert!(
+        temps
+            .iter()
+            .zip(&steady)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "short-circuit touched the state"
+    );
+    println!("ok: thread determinism, iteration budget, warm-seed savings and short-circuit hold");
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 
 use std::sync::OnceLock;
 

@@ -1,0 +1,149 @@
+//! Machine-readable perf records: `target/bench/BENCH_<name>.json`.
+//!
+//! The human-readable tables the bench binaries print are useless for
+//! tracking the perf trajectory across PRs, so the solver benches also
+//! emit one JSON file per run — a flat list of measurements tagged with
+//! everything needed to compare like against like (grid, node count,
+//! preconditioner, thread count). Files live under the
+//! workspace-anchored `target/bench/` and are overwritten per run; CI
+//! logs plus these files together form the perf record.
+
+use std::path::PathBuf;
+
+use vfc::runner::json::JsonValue;
+
+/// One timed measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Scenario label within the bench (e.g. `steady` / `transient`).
+    pub case: String,
+    /// Thermal grid cell edge, millimetres.
+    pub grid_mm: f64,
+    /// Node count of the solved system.
+    pub nodes: usize,
+    /// Preconditioner label (see [`precond_label`]).
+    pub precond: String,
+    /// Kernel-pool thread count the measurement ran with.
+    pub threads: usize,
+    /// Measured wall-clock milliseconds (median unless noted by `case`).
+    pub ms: f64,
+}
+
+impl PerfRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("case".into(), JsonValue::String(self.case.clone())),
+            ("grid_mm".into(), JsonValue::Number(self.grid_mm)),
+            ("nodes".into(), JsonValue::Number(self.nodes as f64)),
+            ("precond".into(), JsonValue::String(self.precond.clone())),
+            ("threads".into(), JsonValue::Number(self.threads as f64)),
+            ("ms".into(), JsonValue::Number(self.ms)),
+        ])
+    }
+}
+
+/// The canonical short label for a preconditioner in perf records and
+/// bench tables (the one definition both the binaries and the criterion
+/// benches share).
+pub fn precond_label(kind: vfc::num::PreconditionerKind) -> &'static str {
+    use vfc::num::PreconditionerKind;
+    match kind {
+        PreconditionerKind::Identity => "none",
+        PreconditionerKind::Jacobi => "jacobi",
+        PreconditionerKind::Ilu0 => "ilu0",
+        PreconditionerKind::MulticolorGs => "mcgs",
+    }
+}
+
+/// Where the records go: `bench/` inside the workspace `target/`
+/// (honouring `CARGO_TARGET_DIR`, like the result cache).
+pub fn bench_record_dir() -> PathBuf {
+    vfc::runner::default_target_dir().join("bench")
+}
+
+/// Writes `BENCH_<name>.json` with the given records, creating
+/// `target/bench/` as needed; returns the path written. Failures are
+/// returned, not panicked — a read-only checkout should not fail a
+/// bench run, so callers print-and-continue.
+///
+/// # Errors
+///
+/// Any I/O failure creating the directory or writing the file.
+pub fn write_bench_records(name: &str, records: &[PerfRecord]) -> std::io::Result<PathBuf> {
+    let dir = bench_record_dir();
+    std::fs::create_dir_all(&dir)?;
+    let doc = JsonValue::Object(vec![
+        ("bench".into(), JsonValue::String(name.to_string())),
+        (
+            "records".into(),
+            JsonValue::Array(records.iter().map(PerfRecord::to_json).collect()),
+        ),
+    ]);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{}\n", doc.encode()))?;
+    Ok(path)
+}
+
+/// Writes the records and prints where they went (or why they didn't) —
+/// the shared tail of every bench binary.
+pub fn report_bench_records(name: &str, records: &[PerfRecord]) {
+    match write_bench_records(name, records) {
+        Ok(path) => println!("\nperf records: {}", path.display()),
+        Err(e) => println!("\nperf records not written: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(case: &str, ms: f64) -> PerfRecord {
+        PerfRecord {
+            case: case.into(),
+            grid_mm: 0.5,
+            nodes: 2300,
+            precond: "ilu0".into(),
+            threads: 4,
+            ms,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_json_codec() {
+        let dir = std::env::temp_dir().join(format!("vfc-bench-perf-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let doc = JsonValue::Object(vec![
+            ("bench".into(), JsonValue::String("test".into())),
+            (
+                "records".into(),
+                JsonValue::Array(vec![record("steady", 0.45).to_json()]),
+            ),
+        ]);
+        std::fs::write(&path, doc.encode()).unwrap();
+
+        let parsed = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let records = match parsed.get("records") {
+            Some(JsonValue::Array(items)) => items.clone(),
+            other => panic!("bad records member: {other:?}"),
+        };
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        assert!(matches!(rec.get("case"), Some(JsonValue::String(s)) if s == "steady"));
+        assert!(matches!(rec.get("nodes"), Some(JsonValue::Number(n)) if *n == 2300.0));
+        assert!(matches!(rec.get("threads"), Some(JsonValue::Number(n)) if *n == 4.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_creates_the_bench_dir_and_file() {
+        let records = [record("steady", 1.25), record("transient", 9.5)];
+        let path = write_bench_records("unit_test", &records).unwrap();
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = JsonValue::parse(&text).unwrap();
+        assert!(matches!(doc.get("bench"), Some(JsonValue::String(s)) if s == "unit_test"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -10,8 +10,10 @@
 //! remaining nodes, and read the power each core must inject to hold its
 //! cells there.
 
+use std::sync::Arc;
+
 use vfc_floorplan::Stack3d;
-use vfc_num::{CsrBuilder, SolverWorkspace};
+use vfc_num::{CsrBuilder, KernelSchedules, SolverWorkspace};
 use vfc_thermal::ThermalModel;
 use vfc_units::Celsius;
 
@@ -115,23 +117,24 @@ pub fn balanced_core_powers(
     }
     let reduced = builder.build();
     let mut t_u = vec![tb; m];
-    // The reduced system inherits the model's solver settings: same
-    // preconditioner family (ILU(0) by default) and tolerances as the
-    // forward solves, threaded through `solve_with` with scratch reuse.
+    // The reduced system inherits the model's solver settings — same
+    // preconditioner family (ILU(0) by default), tolerances — *and* its
+    // kernel pool. Pattern schedules only pay off when the parallel
+    // sweep path can actually engage (multi-thread pool, system at
+    // least `PAR_MIN_LEN`); below that the one-shot solve skips the
+    // construction — the sweeps run sequentially either way.
     let scfg = model.skeleton().config().solver;
     let solver = scfg.bicgstab();
+    let pool = Arc::clone(model.kernel_pool());
+    let schedules = (pool.threads() > 1 && m >= vfc_num::PAR_MIN_LEN)
+        .then(|| Arc::new(KernelSchedules::for_matrix(&reduced)));
     let precond = scfg
         .preconditioner
-        .build(&reduced)
+        .build_on(&reduced, Arc::clone(&pool), schedules.as_ref())
         .map_err(vfc_thermal::ThermalError::from)?;
+    let mut ws = SolverWorkspace::with_pool(pool);
     solver
-        .solve_with(
-            &reduced,
-            &rhs,
-            &mut t_u,
-            precond.as_ref(),
-            &mut SolverWorkspace::with_order(m),
-        )
+        .solve_with(&reduced, &rhs, &mut t_u, precond.as_ref(), &mut ws)
         .map_err(vfc_thermal::ThermalError::from)?;
 
     // Recover the required injection at each fixed node:

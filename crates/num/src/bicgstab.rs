@@ -1,7 +1,10 @@
 //! Preconditioned BiCGSTAB for nonsymmetric systems.
 
+use std::sync::Arc;
+
+use crate::pool::{par_range, SharedMut};
 use crate::{
-    dot, norm2, CsrMatrix, JacobiPreconditioner, NumError, Preconditioner, SolveInfo,
+    dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, NumError, Preconditioner, SolveInfo,
     SolverWorkspace,
 };
 
@@ -52,6 +55,10 @@ impl BiCgStab {
     /// caller-owned workspace; allocation-free when the workspace has
     /// already reached the matrix order.
     ///
+    /// The matvecs, reductions and fused vector updates run on the
+    /// workspace's [`KernelPool`](crate::KernelPool); thread count never
+    /// changes the iterates (determinism by partitioning).
+    ///
     /// # Errors
     ///
     /// As [`solve`](Self::solve).
@@ -69,15 +76,8 @@ impl BiCgStab {
                 context: "bicgstab: rhs/solution/preconditioner order must equal matrix order",
             });
         }
-        let b_norm = norm2(b);
-        if b_norm == 0.0 {
-            x.fill(0.0);
-            return Ok(SolveInfo {
-                iterations: 0,
-                residual: 0.0,
-            });
-        }
         ws.ensure(n);
+        let pool = Arc::clone(&ws.pool);
         let SolverWorkspace {
             r,
             r0,
@@ -86,14 +86,32 @@ impl BiCgStab {
             phat,
             shat,
             t,
+            partials,
+            ..
         } = ws;
         let (r, r0) = (&mut r[..n], &mut r0[..n]);
         let (v, p) = (&mut v[..n], &mut p[..n]);
         let (phat, shat, t) = (&mut phat[..n], &mut shat[..n], &mut t[..n]);
 
-        a.matvec_into(x, r);
-        for i in 0..n {
-            r[i] = b[i] - r[i];
+        let b_norm = norm2_on(&pool, b, partials);
+        if b_norm == 0.0 {
+            x.fill(0.0);
+            return Ok(SolveInfo {
+                iterations: 0,
+                residual: 0.0,
+            });
+        }
+
+        a.matvec_into_on(&pool, x, r);
+        {
+            let rw = SharedMut(r.as_mut_ptr());
+            par_range(&pool, n, &|s, e| {
+                // SAFETY: ranges are disjoint; r is touched only through
+                // `rw` inside this closure.
+                for i in s..e {
+                    unsafe { *rw.ptr().add(i) = b[i] - *rw.ptr().add(i) };
+                }
+            });
         }
         r0.copy_from_slice(r);
         let mut rho = 1.0f64;
@@ -105,52 +123,90 @@ impl BiCgStab {
         p.fill(0.0);
 
         for it in 0..self.max_iterations {
-            let res = norm2(r) / b_norm;
+            let res = norm2_on(&pool, r, partials) / b_norm;
             if res <= self.tolerance {
                 return Ok(SolveInfo {
                     iterations: it,
                     residual: res,
                 });
             }
-            let rho_new = dot(r0, r);
+            let rho_new = dot_on(&pool, r0, r, partials);
             if rho_new.abs() < 1e-300 {
                 return Err(NumError::Breakdown { iterations: it });
             }
             let beta = (rho_new / rho) * (alpha / omega);
             rho = rho_new;
-            for i in 0..n {
-                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            {
+                let pw = SharedMut(p.as_mut_ptr());
+                let (rr, vr): (&[f64], &[f64]) = (r, v);
+                par_range(&pool, n, &|s, e| {
+                    // SAFETY: p is written only through `pw`; r and v are
+                    // read-only here and distinct from p.
+                    for i in s..e {
+                        unsafe {
+                            *pw.ptr().add(i) = rr[i] + beta * (*pw.ptr().add(i) - omega * vr[i])
+                        };
+                    }
+                });
             }
             m.apply(p, phat);
-            a.matvec_into(phat, v);
-            let r0v = dot(r0, v);
+            a.matvec_into_on(&pool, phat, v);
+            let r0v = dot_on(&pool, r0, v, partials);
             if r0v.abs() < 1e-300 {
                 return Err(NumError::Breakdown { iterations: it });
             }
             alpha = rho / r0v;
             // s = r - alpha*v (reuse r as s)
-            for i in 0..n {
-                r[i] -= alpha * v[i];
+            {
+                let rw = SharedMut(r.as_mut_ptr());
+                let vr: &[f64] = v;
+                par_range(&pool, n, &|s, e| {
+                    // SAFETY: r is touched only through `rw`; v is
+                    // read-only and distinct.
+                    for i in s..e {
+                        unsafe { *rw.ptr().add(i) -= alpha * vr[i] };
+                    }
+                });
             }
-            if norm2(r) / b_norm <= self.tolerance {
-                for i in 0..n {
-                    x[i] += alpha * phat[i];
+            if norm2_on(&pool, r, partials) / b_norm <= self.tolerance {
+                {
+                    let xw = SharedMut(x.as_mut_ptr());
+                    let ph: &[f64] = phat;
+                    par_range(&pool, n, &|s, e| {
+                        // SAFETY: x written only through `xw`.
+                        for i in s..e {
+                            unsafe { *xw.ptr().add(i) += alpha * ph[i] };
+                        }
+                    });
                 }
                 return Ok(SolveInfo {
                     iterations: it + 1,
-                    residual: norm2(r) / b_norm,
+                    residual: norm2_on(&pool, r, partials) / b_norm,
                 });
             }
             m.apply(r, shat);
-            a.matvec_into(shat, t);
-            let tt = dot(t, t);
+            a.matvec_into_on(&pool, shat, t);
+            let tt = dot_on(&pool, t, t, partials);
             if tt.abs() < 1e-300 {
                 return Err(NumError::Breakdown { iterations: it });
             }
-            omega = dot(t, r) / tt;
-            for i in 0..n {
-                x[i] += alpha * phat[i] + omega * shat[i];
-                r[i] -= omega * t[i];
+            omega = dot_on(&pool, t, r, partials) / tt;
+            {
+                // Fused update: one pass refreshes both x and r.
+                let xw = SharedMut(x.as_mut_ptr());
+                let rw = SharedMut(r.as_mut_ptr());
+                let (ph, sh, tr): (&[f64], &[f64], &[f64]) = (phat, shat, t);
+                par_range(&pool, n, &|s, e| {
+                    // SAFETY: x and r are written only through their
+                    // SharedMut pointers; phat/shat/t are read-only and
+                    // distinct arrays.
+                    for i in s..e {
+                        unsafe {
+                            *xw.ptr().add(i) += alpha * ph[i] + omega * sh[i];
+                            *rw.ptr().add(i) -= omega * tr[i];
+                        }
+                    }
+                });
             }
             if omega.abs() < 1e-300 {
                 return Err(NumError::Breakdown { iterations: it });
@@ -158,7 +214,7 @@ impl BiCgStab {
         }
         Err(NumError::NoConvergence {
             iterations: self.max_iterations,
-            residual: norm2(r) / b_norm,
+            residual: norm2_on(&pool, r, partials) / b_norm,
         })
     }
 }
@@ -326,6 +382,37 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Workspace pool choice must not change a single bit of the
+        /// solution or the iteration count (the `VFC_NUM_THREADS`
+        /// determinism contract, gated at solver level).
+        #[test]
+        fn solver_is_bit_identical_across_pools(
+            seed in 0u64..100,
+            n in 2usize..60,
+            adv in 0.0f64..8.0,
+        ) {
+            let a = advection_diffusion(n, adv);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rhs: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let solver = BiCgStab::default();
+            let m = Ilu0Preconditioner::new(&a).unwrap();
+
+            let mut ws1 = SolverWorkspace::with_pool(crate::KernelPool::new(1));
+            let mut x1 = vec![0.0; n];
+            let info1 = solver.solve_with(&a, &rhs, &mut x1, &m, &mut ws1).unwrap();
+
+            let mut ws3 = SolverWorkspace::with_pool(crate::KernelPool::new(3));
+            let mut x3 = vec![0.0; n];
+            let info3 = solver.solve_with(&a, &rhs, &mut x3, &m, &mut ws3).unwrap();
+
+            prop_assert_eq!(info1.iterations, info3.iterations);
+            prop_assert_eq!(info1.residual.to_bits(), info3.residual.to_bits());
+            for (a1, a3) in x1.iter().zip(&x3) {
+                prop_assert_eq!(a1.to_bits(), a3.to_bits());
+            }
+        }
+
         #[test]
         fn residual_below_tolerance(seed in 0u64..200, n in 2usize..40, adv in 0.0f64..10.0) {
             let a = advection_diffusion(n, adv);

@@ -1,7 +1,10 @@
 //! Preconditioned conjugate gradient for SPD systems.
 
+use std::sync::Arc;
+
+use crate::pool::{par_range, SharedMut};
 use crate::{
-    dot, norm2, CsrMatrix, JacobiPreconditioner, NumError, Preconditioner, SolveInfo,
+    dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, NumError, Preconditioner, SolveInfo,
     SolverWorkspace,
 };
 
@@ -64,7 +67,20 @@ impl ConjugateGradient {
                 context: "cg: rhs/solution/preconditioner order must equal matrix order",
             });
         }
-        let b_norm = norm2(b);
+        ws.ensure(n);
+        let pool = Arc::clone(&ws.pool);
+        let SolverWorkspace {
+            r,
+            v,
+            p,
+            phat: z,
+            partials,
+            ..
+        } = ws;
+        let (r, ap) = (&mut r[..n], &mut v[..n]);
+        let (p, z) = (&mut p[..n], &mut z[..n]);
+
+        let b_norm = norm2_on(&pool, b, partials);
         if b_norm == 0.0 {
             x.fill(0.0);
             return Ok(SolveInfo {
@@ -72,50 +88,69 @@ impl ConjugateGradient {
                 residual: 0.0,
             });
         }
-        ws.ensure(n);
-        let SolverWorkspace {
-            r, v, p, phat: z, ..
-        } = ws;
-        let (r, ap) = (&mut r[..n], &mut v[..n]);
-        let (p, z) = (&mut p[..n], &mut z[..n]);
 
-        a.matvec_into(x, r);
-        for i in 0..n {
-            r[i] = b[i] - r[i];
+        a.matvec_into_on(&pool, x, r);
+        {
+            let rw = SharedMut(r.as_mut_ptr());
+            par_range(&pool, n, &|s, e| {
+                // SAFETY: disjoint ranges; r touched only through `rw`.
+                for i in s..e {
+                    unsafe { *rw.ptr().add(i) = b[i] - *rw.ptr().add(i) };
+                }
+            });
         }
         m.apply(r, z);
         p.copy_from_slice(z);
-        let mut rz = dot(r, z);
+        let mut rz = dot_on(&pool, r, z, partials);
 
         for it in 0..self.max_iterations {
-            let res = norm2(r) / b_norm;
+            let res = norm2_on(&pool, r, partials) / b_norm;
             if res <= self.tolerance {
                 return Ok(SolveInfo {
                     iterations: it,
                     residual: res,
                 });
             }
-            a.matvec_into(p, ap);
-            let pap = dot(p, ap);
+            a.matvec_into_on(&pool, p, ap);
+            let pap = dot_on(&pool, p, ap, partials);
             if pap.abs() < 1e-300 {
                 return Err(NumError::Breakdown { iterations: it });
             }
             let alpha = rz / pap;
-            for i in 0..n {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
+            {
+                // Fused update: one pass refreshes both x and r.
+                let xw = SharedMut(x.as_mut_ptr());
+                let rw = SharedMut(r.as_mut_ptr());
+                let (pr, apr): (&[f64], &[f64]) = (p, ap);
+                par_range(&pool, n, &|s, e| {
+                    // SAFETY: x and r written only through their pointers;
+                    // p and ap are read-only, distinct arrays.
+                    for i in s..e {
+                        unsafe {
+                            *xw.ptr().add(i) += alpha * pr[i];
+                            *rw.ptr().add(i) -= alpha * apr[i];
+                        }
+                    }
+                });
             }
             m.apply(r, z);
-            let rz_new = dot(r, z);
+            let rz_new = dot_on(&pool, r, z, partials);
             let beta = rz_new / rz;
             rz = rz_new;
-            for i in 0..n {
-                p[i] = z[i] + beta * p[i];
+            {
+                let pw = SharedMut(p.as_mut_ptr());
+                let zr: &[f64] = z;
+                par_range(&pool, n, &|s, e| {
+                    // SAFETY: p written only through `pw`; z read-only.
+                    for i in s..e {
+                        unsafe { *pw.ptr().add(i) = zr[i] + beta * *pw.ptr().add(i) };
+                    }
+                });
             }
         }
         Err(NumError::NoConvergence {
             iterations: self.max_iterations,
-            residual: norm2(r) / b_norm,
+            residual: norm2_on(&pool, r, partials) / b_norm,
         })
     }
 }

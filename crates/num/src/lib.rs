@@ -12,11 +12,18 @@
 //!   one structure;
 //! * [`ConjugateGradient`] for symmetric positive-definite systems;
 //! * [`BiCgStab`] for the nonsymmetric systems produced by advection;
-//! * the [`Preconditioner`] trait with [`JacobiPreconditioner`] and
-//!   [`Ilu0Preconditioner`] implementations ([`PreconditionerKind`] is the
-//!   config-level selection knob), threaded through both Krylov solvers;
-//! * [`SolverWorkspace`], reusable Krylov scratch space so repeated solves
-//!   on a model allocate nothing;
+//! * the [`Preconditioner`] trait with [`JacobiPreconditioner`],
+//!   [`Ilu0Preconditioner`] (level-scheduled parallel triangular sweeps)
+//!   and [`MulticolorGsPreconditioner`] implementations
+//!   ([`PreconditionerKind`] is the config-level selection knob),
+//!   threaded through both Krylov solvers;
+//! * [`KernelPool`], a persistent worker pool running the matvecs,
+//!   reductions and sweeps with **bit-identical results at every thread
+//!   count** (`VFC_NUM_THREADS`; determinism by partitioning), plus
+//!   [`KernelSchedules`] — per-pattern triangular level sets and
+//!   multicolorings shared across same-pattern matrix families;
+//! * [`SolverWorkspace`], reusable Krylov scratch space (and the pool
+//!   handle) so repeated solves on a model allocate nothing;
 //! * [`lstsq`](lstsq::solve) ordinary least squares, used by the
 //!   Hannan–Rissanen ARMA fit;
 //! * light statistics helpers in [`stats`].
@@ -46,7 +53,9 @@ mod cg;
 mod dense;
 mod error;
 pub mod lstsq;
+mod pool;
 mod precond;
+mod schedule;
 mod sparse;
 pub mod stats;
 mod workspace;
@@ -55,10 +64,12 @@ pub use self::bicgstab::BiCgStab;
 pub use self::cg::ConjugateGradient;
 pub use self::dense::DenseMatrix;
 pub use self::error::NumError;
+pub use self::pool::{KernelPool, PAR_MIN_LEN, THREADS_ENV};
 pub use self::precond::{
-    IdentityPreconditioner, Ilu0Preconditioner, JacobiPreconditioner, Preconditioner,
-    PreconditionerKind,
+    IdentityPreconditioner, Ilu0Preconditioner, JacobiPreconditioner, MulticolorGsPreconditioner,
+    Preconditioner, PreconditionerKind,
 };
+pub use self::schedule::{ColorSchedule, KernelSchedules, TriangularLevels};
 pub use self::sparse::{CsrBuilder, CsrMatrix};
 pub use self::workspace::SolverWorkspace;
 
@@ -77,18 +88,17 @@ pub fn norm2(v: &[f64]) -> f64 {
     dot(v, v).sqrt()
 }
 
-/// Dot product of two equal-length vectors.
-///
-/// Four independent accumulators break the floating-point add dependency
-/// chain so the loop pipelines; the Krylov solvers call this several
-/// times per iteration.
-///
-/// # Panics
-///
-/// Panics if the slices differ in length.
+/// Reduction block length for [`dot`]/[`norm2`]: partial sums are formed
+/// per `REDUCE_BLOCK`-sized block and folded in block order, so the
+/// floating-point association depends only on the vector length — the
+/// parallel variants ([`dot_on`]) distribute whole blocks and are
+/// bit-identical to the serial fold at every thread count.
+pub const REDUCE_BLOCK: usize = 4096;
+
+/// One reduction block: four independent accumulators break the
+/// floating-point add dependency chain so the loop pipelines.
 #[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+fn dot_block(a: &[f64], b: &[f64]) -> f64 {
     let mut acc = [0.0f64; 4];
     let n4 = a.len() - a.len() % 4;
     let (a4, a_tail) = a.split_at(n4);
@@ -106,6 +116,62 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     s
 }
 
+/// Dot product of two equal-length vectors.
+///
+/// Accumulated per [`REDUCE_BLOCK`]-sized block (see there for why); the
+/// Krylov solvers call this several times per iteration.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    if a.len() <= REDUCE_BLOCK {
+        return dot_block(a, b);
+    }
+    let mut s = 0.0f64;
+    for (ca, cb) in a.chunks(REDUCE_BLOCK).zip(b.chunks(REDUCE_BLOCK)) {
+        s += dot_block(ca, cb);
+    }
+    s
+}
+
+/// [`dot`] distributed over a [`KernelPool`]: each fixed block's partial
+/// sum may be computed by any worker, but partials are folded in block
+/// order on the caller, so the result is bit-identical to [`dot`] for
+/// every thread count. `partials` is caller-owned scratch (grown as
+/// needed; a [`SolverWorkspace`] carries one).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_on(pool: &KernelPool, a: &[f64], b: &[f64], partials: &mut Vec<f64>) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let n = a.len();
+    if pool.threads() == 1 || n < pool::PAR_MIN_LEN {
+        return dot(a, b);
+    }
+    let blocks = n.div_ceil(REDUCE_BLOCK);
+    if partials.len() < blocks {
+        partials.resize(blocks, 0.0);
+    }
+    let out = pool::SharedMut(partials.as_mut_ptr());
+    pool.run_chunks(blocks, &|blk| {
+        let s = blk * REDUCE_BLOCK;
+        let e = (s + REDUCE_BLOCK).min(n);
+        // SAFETY: each chunk writes only its own partial slot.
+        unsafe { *out.ptr().add(blk) = dot_block(&a[s..e], &b[s..e]) };
+    });
+    partials[..blocks].iter().sum()
+}
+
+/// [`norm2`] distributed over a [`KernelPool`]; bit-identical to the
+/// serial [`norm2`] at every thread count (see [`dot_on`]).
+pub fn norm2_on(pool: &KernelPool, v: &[f64], partials: &mut Vec<f64>) -> f64 {
+    dot_on(pool, v, v, partials).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +186,42 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pooled_dot_is_bit_identical_across_thread_counts() {
+        // Cross the block boundary so the multi-block fold and the
+        // distributed partials both engage.
+        let n = 3 * REDUCE_BLOCK + 517;
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 251) as f64) / 13.0 - 9.0)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 53 % 113) as f64) / 7.0 - 8.0)
+            .collect();
+        let reference = dot(&a, &b);
+        for threads in [1usize, 2, 4] {
+            let pool = KernelPool::new(threads);
+            let mut partials = Vec::new();
+            let got = dot_on(&pool, &a, &b, &mut partials);
+            assert_eq!(
+                got.to_bits(),
+                reference.to_bits(),
+                "threads {threads}: {got} vs {reference}"
+            );
+            assert_eq!(
+                norm2_on(&pool, &a, &mut partials).to_bits(),
+                norm2(&a).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_dot_matches_naive_summation() {
+        let n = 2 * REDUCE_BLOCK + 99;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).cos()).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-9 * naive.abs().max(1.0));
     }
 }

@@ -3,19 +3,30 @@
 //! The thermal RC networks are assembled once per grid and re-solved
 //! thousands of times (every 100 ms sample, every characterization point),
 //! so it pays to spend setup time on a preconditioner that is then applied
-//! on every iteration. Three levels are provided:
+//! on every iteration. Four levels are provided:
 //!
 //! * [`IdentityPreconditioner`] — no preconditioning (reference/ablation);
 //! * [`JacobiPreconditioner`] — diagonal scaling, free to build, helps the
 //!   strongly diagonally dominant small grids;
 //! * [`Ilu0Preconditioner`] — incomplete LU on the matrix's own sparsity
 //!   pattern, the workhorse for fine grids where unpreconditioned
-//!   BiCGSTAB iteration counts grow superlinearly.
+//!   BiCGSTAB iteration counts grow superlinearly. Given the pattern's
+//!   [`TriangularLevels`](crate::TriangularLevels) (via
+//!   [`KernelSchedules`]), the triangular sweeps run level-parallel on a
+//!   [`KernelPool`] with bit-identical results at every thread count;
+//! * [`MulticolorGsPreconditioner`] — a symmetric Gauss–Seidel sweep in
+//!   multicolor order: fewer sweep barriers than level scheduling (one
+//!   per color instead of one per wavefront), at the cost of a weaker
+//!   preconditioner than ILU(0).
 //!
 //! [`PreconditionerKind`] is the serializable selection knob threaded
 //! through `vfc_thermal::SolverConfig`.
 
-use crate::{CsrMatrix, NumError};
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{SharedMut, PAR_MIN_LEN};
+use crate::schedule::SweepSync;
+use crate::{CsrMatrix, KernelPool, KernelSchedules, NumError};
 
 /// Application side of a preconditioner: `z ≈ A⁻¹·r`.
 ///
@@ -96,6 +107,16 @@ impl Preconditioner for JacobiPreconditioner {
     }
 }
 
+/// Splits `len` items across `total` participants; participant `me` owns
+/// the contiguous slice `[start, end)`. Contiguity keeps each worker's
+/// reads/writes streaming.
+#[inline]
+fn participant_slice(len: usize, me: usize, total: usize) -> (usize, usize) {
+    let per = len.div_ceil(total);
+    let start = (me * per).min(len);
+    (start, (start + per).min(len))
+}
+
 /// Incomplete LU factorization with zero fill-in, ILU(0).
 ///
 /// The factors live on the sparsity pattern of the input matrix, with a
@@ -104,7 +125,15 @@ impl Preconditioner for JacobiPreconditioner {
 /// stream contiguous arrays. For the advection–diffusion thermal matrices
 /// this cuts BiCGSTAB iteration counts by an order of magnitude on fine
 /// grids.
-#[derive(Debug, Clone)]
+///
+/// Built via [`new_on`](Self::new_on) with the pattern's
+/// [`KernelSchedules`], the otherwise strictly sequential triangular
+/// sweeps run **level-scheduled** on the given [`KernelPool`]: rows of
+/// one wavefront level have no mutual dependencies, so they execute on
+/// any thread — each row's accumulation order is fixed by the CSR entry
+/// order, which keeps the parallel result bit-identical to the
+/// sequential sweep at every thread count.
+#[derive(Debug)]
 pub struct Ilu0Preconditioner {
     /// Reciprocals of the `U` diagonal (the backward solve multiplies
     /// instead of dividing — serial divides dominate otherwise). Length
@@ -118,16 +147,71 @@ pub struct Ilu0Preconditioner {
     u_ptr: Vec<u32>,
     u_col: Vec<u32>,
     u_val: Vec<f64>,
+    /// Shared pattern schedules; `Some` enables the level-parallel path.
+    schedules: Option<Arc<KernelSchedules>>,
+    pool: Arc<KernelPool>,
+    /// Barriers for the level sweeps (phases = lower + upper levels).
+    sync: SweepSync,
+    /// Guards the shared barriers: a second concurrent `apply` on the
+    /// same preconditioner takes the sequential path instead.
+    par_gate: Mutex<()>,
+}
+
+impl Clone for Ilu0Preconditioner {
+    fn clone(&self) -> Self {
+        Self {
+            inv_diag: self.inv_diag.clone(),
+            l_ptr: self.l_ptr.clone(),
+            l_col: self.l_col.clone(),
+            l_val: self.l_val.clone(),
+            u_ptr: self.u_ptr.clone(),
+            u_col: self.u_col.clone(),
+            u_val: self.u_val.clone(),
+            schedules: self.schedules.clone(),
+            pool: Arc::clone(&self.pool),
+            sync: self.sync.clone(),
+            par_gate: Mutex::new(()),
+        }
+    }
 }
 
 impl Ilu0Preconditioner {
-    /// Factors `a` in ILU(0) form.
+    /// Factors `a` in ILU(0) form with sequential triangular sweeps (no
+    /// schedules, global pool) — the convenient one-shot entry point.
     ///
     /// # Errors
     ///
     /// [`NumError::SingularMatrix`] if a row lacks a diagonal entry or a
     /// pivot vanishes during elimination.
     pub fn new(a: &CsrMatrix) -> Result<Self, NumError> {
+        Self::new_on(a, Arc::clone(KernelPool::global()), None)
+    }
+
+    /// Factors `a` in ILU(0) form; with `schedules` (computed once per
+    /// sparsity pattern and shared across same-pattern factorizations)
+    /// the triangular sweeps run level-parallel on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedules` was computed for a different sparsity
+    /// pattern than `a`'s — foreign level sets would turn the parallel
+    /// sweeps into data races, so the mismatch is rejected up front
+    /// (pointer-equality fast path for structure-shared families).
+    pub fn new_on(
+        a: &CsrMatrix,
+        pool: Arc<KernelPool>,
+        schedules: Option<Arc<KernelSchedules>>,
+    ) -> Result<Self, NumError> {
+        if let Some(s) = &schedules {
+            assert!(
+                s.matches_pattern(a),
+                "ilu0: schedules were computed for a different sparsity pattern"
+            );
+        }
         let n = a.order();
         // Shares row_ptr/col_idx with `a`; only the values are owned.
         let mut lu = a.clone();
@@ -198,6 +282,10 @@ impl Ilu0Preconditioner {
             l_ptr.push(l_col.len() as u32);
             u_ptr.push(u_col.len() as u32);
         }
+        let phases = schedules
+            .as_ref()
+            .map(|s| s.levels.lower_level_count() + s.levels.upper_level_count())
+            .unwrap_or(0);
         Ok(Self {
             inv_diag,
             l_ptr,
@@ -206,7 +294,112 @@ impl Ilu0Preconditioner {
             u_ptr,
             u_col,
             u_val,
+            schedules,
+            pool,
+            sync: SweepSync::with_phases(phases),
+            par_gate: Mutex::new(()),
         })
+    }
+
+    /// Whether `apply` may take the level-parallel path.
+    pub fn is_level_scheduled(&self) -> bool {
+        self.schedules.is_some()
+    }
+
+    /// One forward-substitution row: `z[i] = r[i] − Σ L[i,j]·z[j]`.
+    ///
+    /// # Safety
+    ///
+    /// `i < n`; `z` points at `n` elements; all `z[j]` this row reads
+    /// must already hold their final forward value and no other thread
+    /// may touch `z[i]`.
+    #[inline]
+    unsafe fn forward_row(&self, i: usize, r: &[f64], z: *mut f64) {
+        unsafe {
+            let start = *self.l_ptr.get_unchecked(i) as usize;
+            let end = *self.l_ptr.get_unchecked(i + 1) as usize;
+            let mut acc = *r.get_unchecked(i);
+            for k in start..end {
+                acc -= *self.l_val.get_unchecked(k) * *z.add(*self.l_col.get_unchecked(k) as usize);
+            }
+            *z.add(i) = acc;
+        }
+    }
+
+    /// One backward-substitution row:
+    /// `z[i] = (z[i] − Σ U[i,j]·z[j]) / U[i,i]`.
+    ///
+    /// # Safety
+    ///
+    /// As [`forward_row`](Self::forward_row), with the dependencies being
+    /// the already-finished backward rows `j > i`.
+    #[inline]
+    unsafe fn backward_row(&self, i: usize, z: *mut f64) {
+        unsafe {
+            let start = *self.u_ptr.get_unchecked(i) as usize;
+            let end = *self.u_ptr.get_unchecked(i + 1) as usize;
+            let mut acc = *z.add(i);
+            for k in start..end {
+                acc -= *self.u_val.get_unchecked(k) * *z.add(*self.u_col.get_unchecked(k) as usize);
+            }
+            *z.add(i) = acc * *self.inv_diag.get_unchecked(i);
+        }
+    }
+
+    /// The PR 3 sequential sweeps (also the reference the level-parallel
+    /// path must match bit-for-bit).
+    fn apply_sequential(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.inv_diag.len();
+        let zp = z.as_mut_ptr();
+        // SAFETY (both sweeps): the compact factor arrays are built in
+        // `new_on` with `*_ptr` monotone and bounded by the factor
+        // length, and every column index is < n (builder invariant); r
+        // and z are length-checked by `apply`. Triangular entries
+        // reference only already-computed z positions.
+        unsafe {
+            for i in 0..n {
+                self.forward_row(i, r, zp);
+            }
+            for i in (0..n).rev() {
+                self.backward_row(i, zp);
+            }
+        }
+    }
+
+    /// Level-scheduled sweeps: one pool broadcast covers both triangular
+    /// solves, with a spin barrier per wavefront level. Rows within a
+    /// level are split contiguously across the reported participants;
+    /// the per-row arithmetic is identical to the sequential sweep, so
+    /// the result is bit-identical for every thread count (and for the
+    /// serial fallback the broadcast may take).
+    fn apply_levelled(&self, schedules: &KernelSchedules, r: &[f64], z: &mut [f64]) {
+        let levels = &schedules.levels;
+        let (lc, uc) = (levels.lower_level_count(), levels.upper_level_count());
+        self.sync.reset(lc + uc);
+        let zp = SharedMut(z.as_mut_ptr());
+        self.pool.broadcast(&|me, total| {
+            let participants = total as u32;
+            for l in 0..lc {
+                let rows = levels.lower.level(l);
+                let (s, e) = participant_slice(rows.len(), me, total);
+                for &i in &rows[s..e] {
+                    // SAFETY: rows of one level are mutually independent
+                    // (level-set invariant); dependencies finished in
+                    // earlier levels, published by the barrier below.
+                    unsafe { self.forward_row(i as usize, r, zp.ptr()) };
+                }
+                self.sync.arrive_and_wait(l, participants);
+            }
+            for l in 0..uc {
+                let rows = levels.upper.level(l);
+                let (s, e) = participant_slice(rows.len(), me, total);
+                for &i in &rows[s..e] {
+                    // SAFETY: as above, for the backward dependency order.
+                    unsafe { self.backward_row(i as usize, zp.ptr()) };
+                }
+                self.sync.arrive_and_wait(lc + l, participants);
+            }
+        });
     }
 }
 
@@ -215,36 +408,18 @@ impl Preconditioner for Ilu0Preconditioner {
         let n = self.inv_diag.len();
         assert_eq!(r.len(), n, "ilu0: r length");
         assert_eq!(z.len(), n, "ilu0: z length");
-        // SAFETY (both sweeps): the compact factor arrays are built in
-        // `new` with `*_ptr` monotone and bounded by the factor length,
-        // and every column index is < n (builder invariant); r and z are
-        // length-checked above. Triangular entries reference only
-        // already-computed z positions.
-        unsafe {
-            // Forward solve L·y = r (unit diagonal), writing y into z.
-            let mut start = 0usize;
-            for i in 0..n {
-                let end = *self.l_ptr.get_unchecked(i + 1) as usize;
-                let mut acc = *r.get_unchecked(i);
-                for k in start..end {
-                    acc -= *self.l_val.get_unchecked(k)
-                        * *z.get_unchecked(*self.l_col.get_unchecked(k) as usize);
+        if let Some(schedules) = &self.schedules {
+            if self.pool.threads() > 1 && n >= PAR_MIN_LEN {
+                // The barriers are shared state: only one apply at a time
+                // may run the parallel path; a concurrent caller (same
+                // preconditioner from another thread) goes sequential.
+                if let Ok(_gate) = self.par_gate.try_lock() {
+                    self.apply_levelled(schedules, r, z);
+                    return;
                 }
-                *z.get_unchecked_mut(i) = acc;
-                start = end;
-            }
-            // Backward solve U·z = y in place.
-            for i in (0..n).rev() {
-                let start = *self.u_ptr.get_unchecked(i) as usize;
-                let end = *self.u_ptr.get_unchecked(i + 1) as usize;
-                let mut acc = *z.get_unchecked(i);
-                for k in start..end {
-                    acc -= *self.u_val.get_unchecked(k)
-                        * *z.get_unchecked(*self.u_col.get_unchecked(k) as usize);
-                }
-                *z.get_unchecked_mut(i) = acc * *self.inv_diag.get_unchecked(i);
             }
         }
+        self.apply_sequential(r, z);
     }
 
     fn order(&self) -> usize {
@@ -252,11 +427,242 @@ impl Preconditioner for Ilu0Preconditioner {
     }
 }
 
+/// Symmetric Gauss–Seidel in multicolor order.
+///
+/// One forward sweep (colors ascending, starting from `z = 0`) followed
+/// by one backward sweep (colors descending): rows of a color share no
+/// unknowns, so each color updates in parallel between two barriers —
+/// a handful of barriers per apply versus one per wavefront level for
+/// the triangular solves. Weaker than ILU(0) per iteration, but cheaper
+/// to build (no elimination; reuses the matrix values) and friendlier
+/// to wide machines on patterns with long wavefronts.
+///
+/// The sweep order is fixed by the [`ColorSchedule`](crate::ColorSchedule)
+/// alone, so results are bit-identical at every thread count.
+#[derive(Debug)]
+pub struct MulticolorGsPreconditioner {
+    n: usize,
+    /// Row index per color-major position (copy of the schedule's rows).
+    order: Vec<u32>,
+    /// Off-diagonal entries per position: `cols/vals[row_start[q]..row_start[q+1]]`.
+    row_start: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    /// Reciprocal diagonal per position.
+    inv_diag: Vec<f64>,
+    /// Color boundaries over positions.
+    color_ptr: Vec<u32>,
+    pool: Arc<KernelPool>,
+    /// Barriers: one per color per sweep direction.
+    sync: SweepSync,
+    par_gate: Mutex<()>,
+}
+
+impl Clone for MulticolorGsPreconditioner {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            order: self.order.clone(),
+            row_start: self.row_start.clone(),
+            cols: self.cols.clone(),
+            vals: self.vals.clone(),
+            inv_diag: self.inv_diag.clone(),
+            color_ptr: self.color_ptr.clone(),
+            pool: Arc::clone(&self.pool),
+            sync: self.sync.clone(),
+            par_gate: Mutex::new(()),
+        }
+    }
+}
+
+impl MulticolorGsPreconditioner {
+    /// Builds the multicolor sweep for `a`, computing a fresh coloring.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::SingularMatrix`] if a row lacks a usable diagonal.
+    pub fn new(a: &CsrMatrix) -> Result<Self, NumError> {
+        Self::new_on(
+            a,
+            Arc::clone(KernelPool::global()),
+            Some(Arc::new(KernelSchedules::for_matrix(a))),
+        )
+    }
+
+    /// Builds the multicolor sweep for `a` on `pool`, reusing shared
+    /// `schedules` when given (computed once per pattern).
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedules` was computed for a different sparsity
+    /// pattern than `a`'s — a foreign coloring would let same-phase
+    /// rows share unknowns, turning the parallel sweep into a data
+    /// race, so the mismatch is rejected up front.
+    pub fn new_on(
+        a: &CsrMatrix,
+        pool: Arc<KernelPool>,
+        schedules: Option<Arc<KernelSchedules>>,
+    ) -> Result<Self, NumError> {
+        let n = a.order();
+        let colors = match &schedules {
+            Some(s) => {
+                assert!(
+                    s.matches_pattern(a),
+                    "multicolor-gs: schedules were computed for a different sparsity pattern"
+                );
+                s.colors.clone()
+            }
+            None => crate::ColorSchedule::for_matrix(a),
+        };
+        let order = colors.rows.clone();
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut inv_diag = Vec::with_capacity(n);
+        row_start.push(0u32);
+        for &i in &order {
+            let i = i as usize;
+            let mut diag = 0.0;
+            for (j, v) in a.row(i) {
+                if j == i {
+                    diag += v;
+                } else {
+                    cols.push(j as u32);
+                    vals.push(v);
+                }
+            }
+            if diag.abs() < 1e-300 {
+                return Err(NumError::SingularMatrix { pivot: i });
+            }
+            inv_diag.push(1.0 / diag);
+            row_start.push(cols.len() as u32);
+        }
+        let sweeps = 2 * (colors.color_ptr.len() - 1);
+        Ok(Self {
+            n,
+            order,
+            row_start,
+            cols,
+            vals,
+            inv_diag,
+            color_ptr: colors.color_ptr,
+            pool,
+            sync: SweepSync::with_phases(sweeps),
+            par_gate: Mutex::new(()),
+        })
+    }
+
+    /// Number of colors in the sweep schedule.
+    pub fn color_count(&self) -> usize {
+        self.color_ptr.len() - 1
+    }
+
+    /// One Gauss–Seidel update at color-major position `q`:
+    /// `z[i] = (r[i] − Σ_{j≠i} A[i,j]·z[j]) / A[i,i]`.
+    ///
+    /// # Safety
+    ///
+    /// `q < n`; `z` points at `n` elements; no concurrent writer may
+    /// touch `z[order[q]]` (guaranteed within a color by the coloring).
+    #[inline]
+    unsafe fn update_position(&self, q: usize, r: &[f64], z: *mut f64) {
+        unsafe {
+            let i = *self.order.get_unchecked(q) as usize;
+            let start = *self.row_start.get_unchecked(q) as usize;
+            let end = *self.row_start.get_unchecked(q + 1) as usize;
+            let mut acc = *r.get_unchecked(i);
+            for k in start..end {
+                acc -= *self.vals.get_unchecked(k) * *z.add(*self.cols.get_unchecked(k) as usize);
+            }
+            *z.add(i) = acc * *self.inv_diag.get_unchecked(q);
+        }
+    }
+
+    fn positions(&self, c: usize) -> std::ops::Range<usize> {
+        self.color_ptr[c] as usize..self.color_ptr[c + 1] as usize
+    }
+
+    fn apply_sequential(&self, r: &[f64], z: &mut [f64]) {
+        let zp = z.as_mut_ptr();
+        let nc = self.color_count();
+        // SAFETY: positions are a permutation of 0..n; sequential sweeps
+        // have no concurrent writers.
+        unsafe {
+            for c in 0..nc {
+                for q in self.positions(c) {
+                    self.update_position(q, r, zp);
+                }
+            }
+            for c in (0..nc).rev() {
+                for q in self.positions(c) {
+                    self.update_position(q, r, zp);
+                }
+            }
+        }
+    }
+
+    fn apply_parallel(&self, r: &[f64], z: &mut [f64]) {
+        let nc = self.color_count();
+        self.sync.reset(2 * nc);
+        let zp = SharedMut(z.as_mut_ptr());
+        self.pool.broadcast(&|me, total| {
+            let participants = total as u32;
+            for c in 0..nc {
+                let range = self.positions(c);
+                let (s, e) = participant_slice(range.len(), me, total);
+                for q in range.start + s..range.start + e {
+                    // SAFETY: same-color rows are mutually independent
+                    // (coloring invariant); earlier colors' writes are
+                    // published by the barrier below.
+                    unsafe { self.update_position(q, r, zp.ptr()) };
+                }
+                self.sync.arrive_and_wait(c, participants);
+            }
+            for c in (0..nc).rev() {
+                let range = self.positions(c);
+                let (s, e) = participant_slice(range.len(), me, total);
+                for q in range.start + s..range.start + e {
+                    // SAFETY: as above, in descending color order.
+                    unsafe { self.update_position(q, r, zp.ptr()) };
+                }
+                self.sync.arrive_and_wait(nc + (nc - 1 - c), participants);
+            }
+        });
+    }
+}
+
+impl Preconditioner for MulticolorGsPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "multicolor-gs: r length");
+        assert_eq!(z.len(), self.n, "multicolor-gs: z length");
+        // Forward sweep starts from z = 0 (not-yet-visited colors must
+        // contribute nothing).
+        z.fill(0.0);
+        if self.pool.threads() > 1 && self.n >= PAR_MIN_LEN {
+            if let Ok(_gate) = self.par_gate.try_lock() {
+                self.apply_parallel(r, z);
+                return;
+            }
+        }
+        self.apply_sequential(r, z);
+    }
+
+    fn order(&self) -> usize {
+        self.n
+    }
+}
+
 /// Serializable preconditioner selection knob.
 ///
 /// `vfc_thermal::SolverConfig` threads this through the model builders;
 /// [`build`](Self::build) turns it into a concrete [`Preconditioner`] for
-/// one assembled matrix.
+/// one assembled matrix, and [`build_on`](Self::build_on) additionally
+/// wires in a [`KernelPool`] plus shared pattern [`KernelSchedules`] for
+/// the parallel sweep paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum PreconditionerKind {
     /// No preconditioning.
@@ -265,20 +671,46 @@ pub enum PreconditionerKind {
     Jacobi,
     /// Incomplete LU with zero fill-in.
     Ilu0,
+    /// Symmetric Gauss–Seidel in multicolor order.
+    MulticolorGs,
 }
 
 impl PreconditionerKind {
-    /// Builds the concrete preconditioner for `a`.
+    /// Builds the concrete preconditioner for `a` (sequential sweeps,
+    /// global pool).
     ///
     /// # Errors
     ///
-    /// [`NumError::SingularMatrix`] if ILU(0) breaks down (missing or
-    /// vanishing pivot).
+    /// [`NumError::SingularMatrix`] if a factorization breaks down
+    /// (missing or vanishing pivot/diagonal).
     pub fn build(self, a: &CsrMatrix) -> Result<Box<dyn Preconditioner>, NumError> {
+        self.build_on(a, Arc::clone(KernelPool::global()), None)
+    }
+
+    /// Builds the concrete preconditioner for `a`, running its sweeps on
+    /// `pool` and reusing the pattern's shared `schedules` when given
+    /// (the thermal skeleton computes them once per grid).
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_on(
+        self,
+        a: &CsrMatrix,
+        pool: Arc<KernelPool>,
+        schedules: Option<&Arc<KernelSchedules>>,
+    ) -> Result<Box<dyn Preconditioner>, NumError> {
         Ok(match self {
             PreconditionerKind::Identity => Box::new(IdentityPreconditioner::new(a.order())),
             PreconditionerKind::Jacobi => Box::new(JacobiPreconditioner::new(a)),
-            PreconditionerKind::Ilu0 => Box::new(Ilu0Preconditioner::new(a)?),
+            PreconditionerKind::Ilu0 => {
+                Box::new(Ilu0Preconditioner::new_on(a, pool, schedules.cloned())?)
+            }
+            PreconditionerKind::MulticolorGs => Box::new(MulticolorGsPreconditioner::new_on(
+                a,
+                pool,
+                schedules.cloned(),
+            )?),
         })
     }
 }
@@ -287,6 +719,9 @@ impl PreconditionerKind {
 mod tests {
     use super::*;
     use crate::CsrBuilder;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
 
     fn tridiag(n: usize) -> CsrMatrix {
         let mut b = CsrBuilder::new(n);
@@ -376,12 +811,159 @@ mod tests {
             PreconditionerKind::Identity,
             PreconditionerKind::Jacobi,
             PreconditionerKind::Ilu0,
+            PreconditionerKind::MulticolorGs,
         ] {
             let m = kind.build(&a).unwrap();
             assert_eq!(m.order(), 5);
             let mut z = vec![0.0; 5];
             m.apply(&[1.0; 5], &mut z);
             assert!(z.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Random diagonally dominant ("SPD-ish") matrix on a random sparse
+    /// pattern — every row keeps a strong diagonal so ILU(0) and GS are
+    /// well-defined.
+    fn random_dd(seed: u64, n: usize) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 6.0 + rng.random_range(0.0..2.0));
+        }
+        for _ in 0..n * 3 {
+            let (i, j) = (rng.random_range(0..n), rng.random_range(0..n));
+            if i != j {
+                b.add(i, j, rng.random_range(-0.5..0.5));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn multicolor_gs_approximates_the_inverse() {
+        // On a strongly diagonally dominant system a symmetric GS sweep
+        // must shrink the error: ‖z − A⁻¹r‖ well below ‖A⁻¹r‖.
+        let a = random_dd(7, 60);
+        let dense = a.to_dense();
+        let m = MulticolorGsPreconditioner::new(&a).unwrap();
+        assert!(m.color_count() >= 2);
+        let r: Vec<f64> = (0..60).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let x_true = dense.lu_solve(&r).unwrap();
+        let mut z = vec![0.0; 60];
+        m.apply(&r, &mut z);
+        let err: f64 = z
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let scale: f64 = x_true.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err < 0.5 * scale, "err {err} vs scale {scale}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different sparsity pattern")]
+    fn ilu0_rejects_foreign_schedules() {
+        // Same order, different pattern: running level sweeps against
+        // these schedules would race, so the build must refuse.
+        let a = tridiag(6);
+        let mut b = CsrBuilder::new(6);
+        for i in 0..6 {
+            b.add(i, i, 1.0);
+        }
+        let foreign = Arc::new(KernelSchedules::for_matrix(&b.build()));
+        let _ = Ilu0Preconditioner::new_on(&a, KernelPool::new(1), Some(foreign));
+    }
+
+    #[test]
+    #[should_panic(expected = "different sparsity pattern")]
+    fn multicolor_gs_rejects_foreign_schedules() {
+        let a = tridiag(6);
+        let mut b = CsrBuilder::new(6);
+        for i in 0..6 {
+            b.add(i, i, 1.0);
+        }
+        let foreign = Arc::new(KernelSchedules::for_matrix(&b.build()));
+        let _ = MulticolorGsPreconditioner::new_on(&a, KernelPool::new(1), Some(foreign));
+    }
+
+    #[test]
+    fn multicolor_gs_rejects_missing_diagonal() {
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 1, 1.0);
+        b.add(1, 0, 1.0);
+        assert!(matches!(
+            MulticolorGsPreconditioner::new(&b.build()),
+            Err(NumError::SingularMatrix { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Tentpole determinism gate: the level-scheduled parallel
+        /// triangular solve must be bit-identical to the PR 3 sequential
+        /// split-factor solve, on random SPD-ish patterns, for several
+        /// thread counts. (Small systems force the parallel path off, so
+        /// the schedule-equipped build is exercised through both paths.)
+        #[test]
+        fn level_scheduled_solve_is_bit_identical(seed in 0u64..120, n in 2usize..80) {
+            let a = random_dd(seed, n);
+            let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+            let sequential = Ilu0Preconditioner::new_on(
+                &a, KernelPool::new(1), None).unwrap();
+            let r: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 11) as f64 - 5.0).collect();
+            let mut z_ref = vec![0.0; n];
+            sequential.apply(&r, &mut z_ref);
+            for threads in [1usize, 3] {
+                let m = Ilu0Preconditioner::new_on(
+                    &a, KernelPool::new(threads), Some(Arc::clone(&schedules))).unwrap();
+                assert!(m.is_level_scheduled());
+                let mut z = vec![1.0; n]; // garbage start: apply must overwrite
+                // Exercise the levelled path directly (the `apply` size
+                // threshold would route these small systems serially).
+                m.apply_levelled(&schedules, &r, &mut z);
+                for (got, want) in z.iter().zip(&z_ref) {
+                    prop_assert_eq!(
+                        got.to_bits(), want.to_bits(),
+                        "threads {}: {} vs {}", threads, got, want
+                    );
+                }
+            }
+        }
+
+        /// The multicolor sweep is equally partition-independent.
+        #[test]
+        fn multicolor_gs_is_bit_identical_across_pools(seed in 0u64..120, n in 2usize..80) {
+            let a = random_dd(seed, n);
+            let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+            let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let reference = MulticolorGsPreconditioner::new_on(
+                &a, KernelPool::new(1), Some(Arc::clone(&schedules))).unwrap();
+            let mut z_ref = vec![0.0; n];
+            reference.apply(&r, &mut z_ref);
+            let m = MulticolorGsPreconditioner::new_on(
+                &a, KernelPool::new(3), Some(Arc::clone(&schedules))).unwrap();
+            let mut z = vec![0.0; n];
+            z.fill(0.0);
+            m.apply_parallel(&r, &mut z);
+            for (got, want) in z.iter().zip(&z_ref) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+
+        /// Schedule-equipped ILU(0) factors must equal the plain build's
+        /// (the schedules only change the sweep order, never the factors).
+        #[test]
+        fn schedules_do_not_change_the_factorization(seed in 0u64..60, n in 2usize..40) {
+            let a = random_dd(seed, n);
+            let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+            let plain = Ilu0Preconditioner::new(&a).unwrap();
+            let levelled = Ilu0Preconditioner::new_on(
+                &a, KernelPool::new(2), Some(schedules)).unwrap();
+            prop_assert_eq!(&plain.l_val, &levelled.l_val);
+            prop_assert_eq!(&plain.u_val, &levelled.u_val);
+            prop_assert_eq!(&plain.inv_diag, &levelled.inv_diag);
         }
     }
 }

@@ -1,0 +1,453 @@
+//! Pattern-derived execution schedules for the parallel preconditioners.
+//!
+//! Both schedules depend only on a matrix's **sparsity pattern**, never
+//! its values, so same-pattern matrix families (one thermal network per
+//! pump setting, or a backward-Euler operator sharing its model's
+//! structure) compute them once and share them behind an `Arc` — the
+//! thermal `StackSkeleton` stores a [`KernelSchedules`] per grid.
+//!
+//! * [`TriangularLevels`] — wavefront level sets for the ILU(0)
+//!   triangular solves: rows within a level have no dependencies among
+//!   themselves, so a level's rows can run on any thread in any order
+//!   and still produce bit-identical results (each row's accumulation
+//!   sequence is fixed by the CSR entry order).
+//! * [`ColorSchedule`] — greedy multicoloring of the (symmetrized)
+//!   adjacency: rows of one color touch no common unknowns, which makes
+//!   Gauss–Seidel sweeps parallel per color with a fixed color order.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::CsrMatrix;
+
+/// Rows grouped into dependency levels, level-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LevelSet {
+    /// `rows[level_ptr[l] .. level_ptr[l+1]]` are the rows of level `l`,
+    /// in ascending row order.
+    pub level_ptr: Vec<u32>,
+    pub rows: Vec<u32>,
+}
+
+impl LevelSet {
+    /// Number of levels.
+    pub fn count(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// The rows of one level.
+    #[inline]
+    pub fn level(&self, l: usize) -> &[u32] {
+        &self.rows[self.level_ptr[l] as usize..self.level_ptr[l + 1] as usize]
+    }
+
+    /// Groups `row → level` assignments (levels `0..n_levels`) into a
+    /// level-major row list, rows ascending within each level.
+    fn from_assignment(level_of: &[u32]) -> Self {
+        let n_levels = level_of.iter().map(|&l| l + 1).max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; n_levels + 1];
+        for &l in level_of {
+            counts[l as usize + 1] += 1;
+        }
+        for l in 0..n_levels {
+            counts[l + 1] += counts[l];
+        }
+        let level_ptr = counts.clone();
+        let mut rows = vec![0u32; level_of.len()];
+        let mut cursor = counts;
+        for (i, &l) in level_of.iter().enumerate() {
+            rows[cursor[l as usize] as usize] = i as u32;
+            cursor[l as usize] += 1;
+        }
+        Self { level_ptr, rows }
+    }
+}
+
+/// Wavefront level sets for the strictly-lower (forward) and
+/// strictly-upper (backward) triangular solves on one sparsity pattern.
+///
+/// Built once per pattern by [`for_matrix`](Self::for_matrix); shared by
+/// every ILU(0) factorization on that pattern (the factors live on the
+/// matrix's own pattern, so the level structure is identical).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriangularLevels {
+    pub(crate) lower: LevelSet,
+    pub(crate) upper: LevelSet,
+}
+
+impl TriangularLevels {
+    /// Computes both level sets from `a`'s sparsity pattern (`O(nnz)`).
+    pub fn for_matrix(a: &CsrMatrix) -> Self {
+        let n = a.order();
+        let rp = a.row_ptr();
+        let cols = a.col_indices();
+
+        // Forward (lower) levels: row i waits on every j < i it couples
+        // to, so level(i) = 1 + max level among those j.
+        let mut lower_of = vec![0u32; n];
+        for i in 0..n {
+            let mut lvl = 0u32;
+            for k in rp[i] as usize..rp[i + 1] as usize {
+                let j = cols[k] as usize;
+                if j < i {
+                    lvl = lvl.max(lower_of[j] + 1);
+                }
+            }
+            lower_of[i] = lvl;
+        }
+
+        // Backward (upper) levels: row i waits on every j > i.
+        let mut upper_of = vec![0u32; n];
+        for i in (0..n).rev() {
+            let mut lvl = 0u32;
+            for k in rp[i] as usize..rp[i + 1] as usize {
+                let j = cols[k] as usize;
+                if j > i {
+                    lvl = lvl.max(upper_of[j] + 1);
+                }
+            }
+            upper_of[i] = lvl;
+        }
+
+        Self {
+            lower: LevelSet::from_assignment(&lower_of),
+            upper: LevelSet::from_assignment(&upper_of),
+        }
+    }
+
+    /// Number of forward (lower-triangular) levels.
+    pub fn lower_level_count(&self) -> usize {
+        self.lower.count()
+    }
+
+    /// Number of backward (upper-triangular) levels.
+    pub fn upper_level_count(&self) -> usize {
+        self.upper.count()
+    }
+}
+
+/// Rows grouped by color: rows of one color share no matrix entry with
+/// each other (over the symmetrized pattern), so a Gauss–Seidel update
+/// of a whole color is order-independent — and therefore parallel and
+/// bit-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorSchedule {
+    /// `rows[color_ptr[c] .. color_ptr[c+1]]` are the rows of color `c`,
+    /// ascending within each color.
+    pub(crate) color_ptr: Vec<u32>,
+    pub(crate) rows: Vec<u32>,
+}
+
+impl ColorSchedule {
+    /// Greedy first-fit coloring of `a`'s symmetrized adjacency in
+    /// natural row order (`O(nnz)` expected; deterministic).
+    pub fn for_matrix(a: &CsrMatrix) -> Self {
+        let n = a.order();
+        let rp = a.row_ptr();
+        let cols = a.col_indices();
+
+        // Transpose adjacency (column-wise neighbor lists) so directed
+        // patterns — advection couples upstream only — still color both
+        // endpoints apart.
+        let mut t_counts = vec![0u32; n + 1];
+        for &c in cols {
+            t_counts[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            t_counts[i + 1] += t_counts[i];
+        }
+        let mut t_rows = vec![0u32; cols.len()];
+        let mut cursor = t_counts.clone();
+        for i in 0..n {
+            for k in rp[i] as usize..rp[i + 1] as usize {
+                let c = cols[k] as usize;
+                t_rows[cursor[c] as usize] = i as u32;
+                cursor[c] += 1;
+            }
+        }
+
+        let mut color_of = vec![u32::MAX; n];
+        // Scratch marking which colors neighbors use; grown as needed.
+        let mut used: Vec<u32> = Vec::new();
+        let mut stamp = 0u32;
+        for i in 0..n {
+            stamp += 1;
+            let mark = |used: &mut Vec<u32>, j: usize, color_of: &[u32], stamp: u32| {
+                let cj = color_of[j];
+                if cj != u32::MAX {
+                    if used.len() <= cj as usize {
+                        used.resize(cj as usize + 1, 0);
+                    }
+                    used[cj as usize] = stamp;
+                }
+            };
+            for k in rp[i] as usize..rp[i + 1] as usize {
+                let j = cols[k] as usize;
+                if j != i {
+                    mark(&mut used, j, &color_of, stamp);
+                }
+            }
+            for k in t_counts[i] as usize..t_counts[i + 1] as usize {
+                let j = t_rows[k] as usize;
+                if j != i {
+                    mark(&mut used, j, &color_of, stamp);
+                }
+            }
+            let mut c = 0u32;
+            while (c as usize) < used.len() && used[c as usize] == stamp {
+                c += 1;
+            }
+            color_of[i] = c;
+        }
+
+        let set = LevelSet::from_assignment(&color_of);
+        Self {
+            color_ptr: set.level_ptr,
+            rows: set.rows,
+        }
+    }
+
+    /// Number of colors.
+    pub fn count(&self) -> usize {
+        self.color_ptr.len() - 1
+    }
+
+    /// The rows of one color.
+    #[cfg(test)]
+    pub(crate) fn color(&self, c: usize) -> &[u32] {
+        &self.rows[self.color_ptr[c] as usize..self.color_ptr[c + 1] as usize]
+    }
+}
+
+/// The pattern-derived schedules a matrix family shares: triangular
+/// level sets (ILU(0)) and a multicoloring (Gauss–Seidel).
+///
+/// `vfc_thermal` computes one per `StackSkeleton` and hands it to every
+/// preconditioner build on that pattern via
+/// [`PreconditionerKind::build_on`](crate::PreconditionerKind::build_on).
+/// The schedules remember the pattern they were computed from (shared
+/// `Arc`s, no copy); the preconditioner builders call
+/// [`matches_pattern`](Self::matches_pattern) and refuse a mismatched
+/// matrix — running a parallel sweep against foreign levels/colors
+/// would violate the dependency structure (a data race, not merely a
+/// wrong answer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSchedules {
+    /// Level sets for the split triangular factors.
+    pub levels: TriangularLevels,
+    /// Multicoloring of the symmetrized adjacency.
+    pub colors: ColorSchedule,
+    /// The source pattern (shared index arrays, not a copy).
+    row_ptr: std::sync::Arc<[u32]>,
+    col_idx: std::sync::Arc<[u32]>,
+}
+
+impl KernelSchedules {
+    /// Computes both schedules for `a`'s pattern.
+    pub fn for_matrix(a: &CsrMatrix) -> Self {
+        let (row_ptr, col_idx) = a.pattern_arcs();
+        Self {
+            levels: TriangularLevels::for_matrix(a),
+            colors: ColorSchedule::for_matrix(a),
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Whether these schedules were computed for `a`'s sparsity pattern.
+    /// Pointer equality (the structure-shared fast path: every family
+    /// member and backward-Euler operator) falls back to content
+    /// comparison for independently built twins.
+    pub fn matches_pattern(&self, a: &CsrMatrix) -> bool {
+        let (rp, ci) = a.pattern_arcs();
+        (std::sync::Arc::ptr_eq(&self.row_ptr, &rp) && std::sync::Arc::ptr_eq(&self.col_idx, &ci))
+            || (self.row_ptr == rp && self.col_idx == ci)
+    }
+}
+
+/// Spin barriers for the phased sweeps (one atomic per level/color),
+/// preallocated at preconditioner build time so `apply` stays
+/// allocation-free.
+#[derive(Debug)]
+pub(crate) struct SweepSync {
+    arrived: Vec<AtomicU32>,
+}
+
+impl SweepSync {
+    pub fn with_phases(phases: usize) -> Self {
+        Self {
+            arrived: (0..phases).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Resets the first `phases` barriers; call before each broadcast
+    /// (the broadcast's lock handoff publishes the stores).
+    pub fn reset(&self, phases: usize) {
+        for a in &self.arrived[..phases] {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks this participant done with `phase` and waits until all
+    /// `participants` are; the Acquire/Release pair publishes every
+    /// write made during the phase to the next one.
+    #[inline]
+    pub fn arrive_and_wait(&self, phase: usize, participants: u32) {
+        let a = &self.arrived[phase];
+        a.fetch_add(1, Ordering::AcqRel);
+        let mut spins = 0u32;
+        while a.load(Ordering::Acquire) < participants {
+            spins += 1;
+            if spins % 1024 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Clone for SweepSync {
+    fn clone(&self) -> Self {
+        Self::with_phases(self.arrived.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 4.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn tridiagonal_levels_are_chains() {
+        // Every row depends on its predecessor: n levels of one row each.
+        let a = tridiag(6);
+        let tl = TriangularLevels::for_matrix(&a);
+        assert_eq!(tl.lower_level_count(), 6);
+        assert_eq!(tl.upper_level_count(), 6);
+        for l in 0..6 {
+            assert_eq!(tl.lower.level(l), &[l as u32]);
+            assert_eq!(tl.upper.level(l), &[(5 - l) as u32]);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_one_level_and_one_color() {
+        let mut b = CsrBuilder::new(5);
+        for i in 0..5 {
+            b.add(i, i, 1.0);
+        }
+        let a = b.build();
+        let tl = TriangularLevels::for_matrix(&a);
+        assert_eq!(tl.lower_level_count(), 1);
+        assert_eq!(tl.upper_level_count(), 1);
+        assert_eq!(tl.lower.level(0), &[0, 1, 2, 3, 4]);
+        let cs = ColorSchedule::for_matrix(&a);
+        assert_eq!(cs.count(), 1);
+    }
+
+    #[test]
+    fn tridiagonal_coloring_is_red_black() {
+        let a = tridiag(7);
+        let cs = ColorSchedule::for_matrix(&a);
+        assert_eq!(cs.count(), 2);
+        assert_eq!(cs.color(0), &[0, 2, 4, 6]);
+        assert_eq!(cs.color(1), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn directed_pattern_still_separates_endpoints() {
+        // Advection-like: only (1,0) stored, never (0,1); 0 and 1 must
+        // still get different colors via the transpose pass.
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 0, 1.0);
+        b.add(1, 1, 1.0);
+        b.add(1, 0, -0.5);
+        let a = b.build();
+        let cs = ColorSchedule::for_matrix(&a);
+        assert_eq!(cs.count(), 2);
+    }
+
+    /// Random sparse pattern with a full diagonal.
+    fn random_matrix(seed: u64, n: usize, extra: usize) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 5.0 + rng.random_range(0.0..1.0));
+        }
+        for _ in 0..extra {
+            b.add(
+                rng.random_range(0..n),
+                rng.random_range(0..n),
+                rng.random_range(-1.0..1.0),
+            );
+        }
+        b.build()
+    }
+
+    proptest! {
+        #[test]
+        fn levels_respect_dependencies(seed in 0u64..200, n in 1usize..40) {
+            let a = random_matrix(seed, n, n * 2);
+            let tl = TriangularLevels::for_matrix(&a);
+            // Every row appears exactly once per set.
+            let mut seen = vec![false; n];
+            for l in 0..tl.lower_level_count() {
+                for &i in tl.lower.level(l) {
+                    prop_assert!(!seen[i as usize]);
+                    seen[i as usize] = true;
+                    // All lower neighbors sit in strictly earlier levels.
+                    for (j, _) in a.row(i as usize) {
+                        if j < i as usize {
+                            let lj = (0..tl.lower_level_count())
+                                .find(|&l2| tl.lower.level(l2).contains(&(j as u32)))
+                                .unwrap();
+                            prop_assert!(lj < l, "row {i} level {l} dep {j} level {lj}");
+                        }
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn coloring_is_valid(seed in 0u64..200, n in 1usize..40) {
+            let a = random_matrix(seed, n, n * 2);
+            let cs = ColorSchedule::for_matrix(&a);
+            let mut color_of = vec![u32::MAX; n];
+            for c in 0..cs.count() {
+                for &i in cs.color(c) {
+                    prop_assert_eq!(color_of[i as usize], u32::MAX);
+                    color_of[i as usize] = c as u32;
+                }
+            }
+            for i in 0..n {
+                prop_assert!(color_of[i] != u32::MAX);
+                for (j, _) in a.row(i) {
+                    if j != i {
+                        prop_assert!(
+                            color_of[i] != color_of[j],
+                            "adjacent rows {} and {} share color {}", i, j, color_of[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

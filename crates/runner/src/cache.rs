@@ -30,31 +30,51 @@ use crate::RunnerError;
 /// Version stamp written into every on-disk entry and the index.
 pub const DISK_FORMAT_VERSION: u64 = 1;
 
-/// The default on-disk store location: `VFC_CACHE_DIR` if set, else
-/// `vfc-cache/` inside `CARGO_TARGET_DIR` if set, else
-/// `target/vfc-cache/` under the enclosing workspace root (found by
+/// Environment variable bounding the on-disk cache size, in megabytes.
+/// Unset (the default) means unbounded; see
+/// [`ResultCache::with_max_bytes`].
+pub const CACHE_MAX_MB_ENV: &str = "VFC_CACHE_MAX_MB";
+
+/// The workspace-anchored `target/` directory: `CARGO_TARGET_DIR` if
+/// set, else `target/` under the enclosing workspace root (found by
 /// walking up from the current directory to the nearest `Cargo.lock`).
 ///
 /// Anchoring on the workspace root matters: `cargo test` runs each
 /// crate's tests from that crate's own directory, and a cwd-relative
-/// default would fragment the cache per launch directory (and litter
-/// unignored `target/` directories inside `crates/*`).
-pub fn default_cache_dir() -> PathBuf {
-    if let Some(dir) = std::env::var_os("VFC_CACHE_DIR") {
-        return PathBuf::from(dir);
-    }
+/// default would fragment per-launch-directory state (and litter
+/// unignored `target/` directories inside `crates/*`). Shared by the
+/// result cache (`target/vfc-cache/`) and the perf-record writer in
+/// `vfc_bench` (`target/bench/`).
+pub fn default_target_dir() -> PathBuf {
     if let Some(target) = std::env::var_os("CARGO_TARGET_DIR") {
-        return PathBuf::from(target).join("vfc-cache");
+        return PathBuf::from(target);
     }
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     loop {
         if dir.join("Cargo.lock").is_file() {
-            return dir.join("target").join("vfc-cache");
+            return dir.join("target");
         }
         if !dir.pop() {
-            return PathBuf::from("target").join("vfc-cache");
+            return PathBuf::from("target");
         }
     }
+}
+
+/// The default on-disk store location: `VFC_CACHE_DIR` if set, else
+/// `vfc-cache/` inside [`default_target_dir`].
+pub fn default_cache_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("VFC_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    default_target_dir().join("vfc-cache")
+}
+
+/// The size budget from [`CACHE_MAX_MB_ENV`], if set to a positive
+/// number of megabytes.
+fn env_max_bytes() -> Option<u64> {
+    let raw = std::env::var(CACHE_MAX_MB_ENV).ok()?;
+    let mb: u64 = raw.trim().parse().ok()?;
+    (mb > 0).then_some(mb * 1024 * 1024)
 }
 
 /// One line of the on-disk `index.jsonl`: where a key came from, for
@@ -124,12 +144,27 @@ impl ResultCache {
     }
 
     /// A cache backed by a directory of JSON entries (created on first
-    /// store). Existing entries become visible immediately.
+    /// store). Existing entries become visible immediately. The disk
+    /// tier's size budget comes from [`CACHE_MAX_MB_ENV`] (unset:
+    /// unbounded); see [`with_max_bytes`](Self::with_max_bytes).
     pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
         Self {
             memory: Mutex::new(HashMap::new()),
-            disk: Some(DiskStore::new(dir.into())),
+            disk: Some(DiskStore::new(dir.into(), env_max_bytes())),
         }
+    }
+
+    /// Caps the on-disk tier at `max_bytes` of entry files: after every
+    /// store, the oldest entries (LRU by file mtime — loads do not touch
+    /// entries, so this is strictly store-ordered) are evicted until the
+    /// tier fits the budget again. Long-lived caches (a datacenter sweep
+    /// service rerunning daily) stay bounded; evicted cells simply
+    /// re-simulate on their next miss. No-op without a disk tier.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        if let Some(disk) = &mut self.disk {
+            disk.max_bytes = Some(max_bytes);
+        }
+        self
     }
 
     /// Whether a disk tier is attached.
@@ -177,13 +212,23 @@ struct DiskStore {
     dir: PathBuf,
     /// Keeps this process's index appends whole-line ordered.
     index_lock: Mutex<()>,
+    /// Size budget for the entry files; `None` = unbounded.
+    max_bytes: Option<u64>,
+    /// Running total of entry-file bytes, maintained so the common
+    /// under-budget store is O(1) — the directory is only walked on the
+    /// first budgeted store (seeding) and when the total exceeds the
+    /// budget (the eviction pass re-derives the authoritative total,
+    /// which also corrects drift from concurrent writer processes).
+    tracked_bytes: Mutex<Option<u64>>,
 }
 
 impl DiskStore {
-    fn new(dir: PathBuf) -> Self {
+    fn new(dir: PathBuf, max_bytes: Option<u64>) -> Self {
         Self {
             dir,
             index_lock: Mutex::new(()),
+            max_bytes,
+            tracked_bytes: Mutex::new(None),
         }
     }
 
@@ -220,13 +265,77 @@ impl DiskStore {
             ("key".into(), JsonValue::String(format!("{key:016x}"))),
             ("report".into(), report.to_json()),
         ]);
-        write_atomically(&self.entry_path(key), &doc.encode())?;
+        let encoded = doc.encode();
+        write_atomically(&self.entry_path(key), &encoded)?;
         self.append_to_index(CacheIndexEntry {
             key,
             label: report.label.clone(),
             system: report.system.clone(),
             workload: report.workload.clone(),
-        })
+        })?;
+        self.enforce_budget(key, encoded.len() as u64);
+        Ok(())
+    }
+
+    /// Charges the just-written entry against the running total and,
+    /// only when the budget is exceeded (or on the first budgeted
+    /// store), walks the directory to evict the oldest entry files (by
+    /// mtime, filename tie-break) until the tier fits — sparing the
+    /// entry just written. Best-effort by design: I/O failures here
+    /// must not fail the store — the caller already holds the result.
+    fn enforce_budget(&self, just_written: u64, written_bytes: u64) {
+        let Some(budget) = self.max_bytes else {
+            return;
+        };
+        let mut tracked = self.tracked_bytes.lock();
+        match *tracked {
+            // Common case: known total, still within budget — O(1).
+            Some(total) if total + written_bytes <= budget => {
+                *tracked = Some(total + written_bytes);
+            }
+            // First budgeted store (seed the total) or budget exceeded:
+            // walk the directory once and evict as needed; the walk
+            // re-derives the authoritative total either way.
+            _ => *tracked = Some(self.evict_to_budget(budget, just_written)),
+        }
+    }
+
+    /// The directory walk + eviction pass; returns the resulting total.
+    fn evict_to_budget(&self, budget: u64, just_written: u64) -> u64 {
+        let Ok(listing) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let keep = self.entry_path(just_written);
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut total = 0u64;
+        for item in listing.flatten() {
+            let path = item.path();
+            // Only content entries count toward (and are charged to) the
+            // budget; the index and in-flight temp files are exempt.
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(meta) = item.metadata() else { continue };
+            let size = meta.len();
+            total += size;
+            if path != keep {
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                entries.push((mtime, path, size));
+            }
+        }
+        if total <= budget {
+            return total;
+        }
+        entries.sort();
+        for (_, path, size) in entries {
+            if total <= budget {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(size);
+            }
+        }
+        total
     }
 
     /// Appends one JSONL line per new key — O(1) per store (no
@@ -404,6 +513,65 @@ mod tests {
         let entries = disk.read_index();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].label, "one", "first store wins");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_budget_evicts_oldest_entries_first() {
+        let dir = temp_dir("evict");
+        // Budget sized so two entries fit but three do not (entries are
+        // a few hundred bytes each).
+        let one = {
+            let cache = ResultCache::on_disk(&dir);
+            cache.insert(1, &report("one")).unwrap();
+            std::fs::metadata(dir.join(format!("{:016x}.json", 1)))
+                .unwrap()
+                .len()
+        };
+        let cache = ResultCache::on_disk(&dir).with_max_bytes(one * 2 + one / 2);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.insert(2, &report("two")).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.insert(3, &report("three")).unwrap();
+
+        // Entry 1 (oldest mtime) was evicted; 2 and 3 survive.
+        let fresh = ResultCache::on_disk(&dir);
+        assert!(fresh.get(1).is_none(), "oldest entry must be evicted");
+        assert_eq!(fresh.get(2).unwrap().label, "two");
+        assert_eq!(fresh.get(3).unwrap().label, "three");
+
+        // An evicted cell is an ordinary miss: re-storing repopulates it
+        // (and the budget now evicts entry 2, the new oldest).
+        cache.insert(1, &report("one again")).unwrap();
+        let after = ResultCache::on_disk(&dir);
+        assert_eq!(after.get(1).unwrap().label, "one again");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbudgeted_caches_never_evict() {
+        let dir = temp_dir("no-evict");
+        let cache = ResultCache::on_disk(&dir);
+        for key in 0..6u64 {
+            cache.insert(key, &report(&format!("r{key}"))).unwrap();
+        }
+        let fresh = ResultCache::on_disk(&dir);
+        for key in 0..6u64 {
+            assert!(fresh.get(key).is_some(), "entry {key} must persist");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_newest_entry_is_never_evicted() {
+        let dir = temp_dir("keep-newest");
+        // A budget of one byte cannot even hold the entry just written;
+        // eviction must still spare it (evicting what you just stored
+        // would make the cache useless under any undersized budget).
+        let cache = ResultCache::on_disk(&dir).with_max_bytes(1);
+        cache.insert(7, &report("seven")).unwrap();
+        let fresh = ResultCache::on_disk(&dir);
+        assert_eq!(fresh.get(7).unwrap().label, "seven");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

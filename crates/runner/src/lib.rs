@@ -52,7 +52,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use vfc_sim::{SimConfig, SimReport, Simulation};
 
-pub use self::cache::{default_cache_dir, CacheIndexEntry, ResultCache, DISK_FORMAT_VERSION};
+pub use self::cache::{
+    default_cache_dir, default_target_dir, CacheIndexEntry, ResultCache, CACHE_MAX_MB_ENV,
+    DISK_FORMAT_VERSION,
+};
 pub use self::error::RunnerError;
 pub use self::executor::{Executor, Progress, THREADS_ENV};
 pub use self::spec::SweepSpec;

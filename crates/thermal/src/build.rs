@@ -197,9 +197,15 @@ impl<'a> StackThermalBuilder<'a> {
             })
             .collect();
 
+        // Pattern-derived schedules (level sets for the parallel ILU(0)
+        // sweeps, the Gauss–Seidel coloring): one computation per grid,
+        // shared by every pump setting and backward-Euler operator.
+        let schedules = Arc::new(vfc_num::KernelSchedules::for_matrix(&g_base));
+
         StackSkeleton {
             g_base,
             diag_idx,
+            schedules,
             cap: asm.cap,
             b0_base: asm.b0,
             links_plan: asm.links_plan,

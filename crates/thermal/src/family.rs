@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use vfc_num::CsrMatrix;
+use vfc_num::{CsrMatrix, KernelPool, KernelSchedules};
 use vfc_units::VolumetricFlow;
 
 use crate::{NodeLayout, StackThermalBuilder, ThermalConfig, ThermalError, ThermalModel};
@@ -92,6 +92,11 @@ pub struct StackSkeleton {
     /// Per row, the CSR value index of the diagonal entry (the pattern
     /// always includes the diagonal; backward-Euler and ILU need it).
     pub(crate) diag_idx: Vec<u32>,
+    /// Pattern-derived kernel schedules (triangular level sets for the
+    /// parallel ILU(0) sweeps, multicoloring for Gauss–Seidel), computed
+    /// once per grid and shared by every pump setting's preconditioner —
+    /// including the backward-Euler operators, which share this pattern.
+    pub(crate) schedules: Arc<KernelSchedules>,
     /// Per-node heat capacities (flow-independent: cavity geometry fixes
     /// the fluid volume).
     pub(crate) cap: Vec<f64>,
@@ -147,6 +152,13 @@ impl StackSkeleton {
     /// Number of flow-dependent value slots patched per flow change.
     pub fn flow_slot_count(&self) -> usize {
         self.flow_stamps.len()
+    }
+
+    /// The pattern-derived kernel schedules (level sets, coloring) every
+    /// model of this family — and every backward-Euler operator derived
+    /// from one — builds its preconditioner with.
+    pub fn schedules(&self) -> &Arc<KernelSchedules> {
+        &self.schedules
     }
 
     /// Instantiates a model of this family at the given flow.
@@ -338,6 +350,15 @@ impl ThermalModelFamily {
     pub fn models_mut(&mut self) -> &mut [ThermalModel] {
         &mut self.models
     }
+
+    /// Re-homes every member onto `pool` (see
+    /// [`ThermalModel::set_kernel_pool`]); results are unaffected, only
+    /// where the kernels run.
+    pub fn set_kernel_pool(&mut self, pool: &Arc<KernelPool>) {
+        for m in &mut self.models {
+            m.set_kernel_pool(Arc::clone(pool));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +403,17 @@ mod tests {
             6,
             "5 members + family"
         );
+
+        // The kernel schedules (level sets + coloring) live on the
+        // skeleton: one computation per grid, shared by every member's
+        // preconditioner via the same Arc.
+        assert!(family.skeleton().schedules().levels.lower_level_count() > 1);
+        for m in family.models() {
+            assert!(Arc::ptr_eq(
+                m.skeleton().schedules(),
+                family.skeleton().schedules()
+            ));
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use vfc_num::{BiCgStab, CsrMatrix, Preconditioner, SolverWorkspace};
+use vfc_num::{BiCgStab, CsrMatrix, KernelPool, Preconditioner, SolverWorkspace};
 use vfc_units::{Celsius, Seconds, VolumetricFlow, Watts};
 
 use crate::{FlowPatch, StackSkeleton, ThermalError};
@@ -114,6 +114,8 @@ struct BeCache {
     matrix: CsrMatrix,
     /// Preconditioner factored on `matrix`.
     precond: Box<dyn Preconditioner>,
+    /// `C_i / h` per node, hoisted out of the sub-step rhs loop.
+    cap_over_h: Vec<f64>,
 }
 
 /// An assembled thermal RC network for one stack at one coolant flow rate.
@@ -140,15 +142,34 @@ pub struct ThermalModel {
     /// Current flow (`None` for air-cooled).
     flow: Option<VolumetricFlow>,
     pub(crate) solver: BiCgStab,
+    /// Kernel pool every solve on this model runs on (matvecs,
+    /// reductions, level-scheduled preconditioner sweeps). Thread count
+    /// never changes results — see [`KernelPool`].
+    pool: Arc<KernelPool>,
     /// Krylov scratch space reused by every solve on this model.
     workspace: SolverWorkspace,
-    /// Reusable rhs buffer for steady-state solves.
+    /// Reusable rhs buffer for steady-state solves and the per-sub-step
+    /// transient rhs.
     rhs_buf: Vec<f64>,
+    /// Flow-and-power part of the transient rhs (`P + b₀`), hoisted out
+    /// of the sub-step loop.
+    base_buf: Vec<f64>,
+    /// Sub-step residual / seed scratch for the transient warm start.
+    resid_buf: Vec<f64>,
+    seed_buf: Vec<f64>,
+    /// Reduction partials for the sub-step residual norms.
+    partials_buf: Vec<f64>,
     /// Preconditioner factored on `g`, built lazily, dropped on re-patch.
     steady_precond: Option<Box<dyn Preconditioner>>,
     /// Cached backward-Euler operator + preconditioner, keyed by the bit
     /// pattern of the sub-step length; dropped on re-patch.
     be_cache: Option<BeCache>,
+    /// Seed each transient sub-step with `temps + M⁻¹·r` and short-cut
+    /// converged sub-steps (default on; see
+    /// [`set_transient_warm_seed`](Self::set_transient_warm_seed)).
+    transient_warm_seed: bool,
+    /// Krylov iterations spent by the most recent [`step`](Self::step).
+    last_step_iterations: usize,
 }
 
 impl Clone for ThermalModel {
@@ -162,10 +183,17 @@ impl Clone for ThermalModel {
             boundary_links: self.boundary_links.clone(),
             flow: self.flow,
             solver: self.solver,
-            workspace: SolverWorkspace::new(),
+            pool: Arc::clone(&self.pool),
+            workspace: SolverWorkspace::with_pool(Arc::clone(&self.pool)),
             rhs_buf: Vec::new(),
+            base_buf: Vec::new(),
+            resid_buf: Vec::new(),
+            seed_buf: Vec::new(),
+            partials_buf: Vec::new(),
             steady_precond: None,
             be_cache: None,
+            transient_warm_seed: self.transient_warm_seed,
+            last_step_iterations: 0,
         }
     }
 }
@@ -196,6 +224,7 @@ impl ThermalModel {
             }
         }
         let solver = skeleton.config.solver.bicgstab();
+        let pool = Arc::clone(KernelPool::global());
         Self {
             skeleton,
             g,
@@ -203,16 +232,59 @@ impl ThermalModel {
             boundary_links,
             flow,
             solver,
-            workspace: SolverWorkspace::new(),
+            workspace: SolverWorkspace::with_pool(Arc::clone(&pool)),
+            pool,
             rhs_buf: Vec::new(),
+            base_buf: Vec::new(),
+            resid_buf: Vec::new(),
+            seed_buf: Vec::new(),
+            partials_buf: Vec::new(),
             steady_precond: None,
             be_cache: None,
+            transient_warm_seed: true,
+            last_step_iterations: 0,
         }
     }
 
     /// The grid skeleton this model shares with its family.
     pub fn skeleton(&self) -> &Arc<StackSkeleton> {
         &self.skeleton
+    }
+
+    /// The kernel pool this model's solves run on.
+    pub fn kernel_pool(&self) -> &Arc<KernelPool> {
+        &self.pool
+    }
+
+    /// Re-homes the model's solves onto `pool` (the global pool is the
+    /// default). Purely an execution knob — results are bit-identical
+    /// for every thread count; see [`KernelPool`]. Cached factorizations
+    /// are dropped so their sweeps rebuild against the new pool.
+    pub fn set_kernel_pool(&mut self, pool: Arc<KernelPool>) {
+        if Arc::ptr_eq(&self.pool, &pool) {
+            return;
+        }
+        self.workspace.set_pool(Arc::clone(&pool));
+        self.pool = pool;
+        self.steady_precond = None;
+        self.be_cache = None;
+    }
+
+    /// Ablation/diagnostic knob: seed each transient sub-step with the
+    /// preconditioned residual correction `temps + M⁻¹·(b − A·temps)`
+    /// and short-circuit sub-steps whose warm start is already converged
+    /// (default **on**). Turning it off restores the plain
+    /// previous-state warm start; converged temperatures agree within
+    /// the solver tolerance either way, only iteration counts change.
+    pub fn set_transient_warm_seed(&mut self, on: bool) {
+        self.transient_warm_seed = on;
+    }
+
+    /// Krylov iterations spent by the most recent [`step`](Self::step)
+    /// call, summed over its sub-steps (0 when every sub-step
+    /// short-circuited).
+    pub fn last_step_iterations(&self) -> usize {
+        self.last_step_iterations
     }
 
     /// The current coolant flow (`None` for air-cooled models).
@@ -362,7 +434,11 @@ impl ThermalModel {
             self.rhs_buf[i] = power[i] + self.b0[i];
         }
         if self.steady_precond.is_none() {
-            self.steady_precond = Some(self.skeleton.config.solver.preconditioner.build(&self.g)?);
+            self.steady_precond = Some(self.skeleton.config.solver.preconditioner.build_on(
+                &self.g,
+                Arc::clone(&self.pool),
+                Some(&self.skeleton.schedules),
+            )?);
         }
         let precond = self
             .steady_precond
@@ -389,7 +465,13 @@ impl ThermalModel {
     /// sub-steps (the power is held constant over the interval).
     ///
     /// The backward-Euler operator `C/h + G` and its preconditioner are
-    /// cached per sub-step length and reused until the flow changes.
+    /// cached per sub-step length and reused until the flow changes; the
+    /// flow-and-power part of the rhs (`P + b₀`) is hoisted out of the
+    /// sub-step loop. With the (default) transient warm seed, each
+    /// sub-step starts from the previous state corrected by the cached
+    /// preconditioner's `M⁻¹·r`, and a sub-step whose warm start already
+    /// meets the solver tolerance ends the whole interval early — the
+    /// remaining sub-steps would reproduce the same state bit for bit.
     ///
     /// # Errors
     ///
@@ -424,19 +506,52 @@ impl ThermalModel {
             .be_cache
             .as_ref()
             .expect("ensure_be_matrix populates the cache");
-        let cap = &self.skeleton.cap;
+        self.last_step_iterations = 0;
         self.rhs_buf.resize(n, 0.0);
+        // Hoist the sub-step-invariant rhs part out of the loop.
+        self.base_buf.resize(n, 0.0);
+        for i in 0..n {
+            self.base_buf[i] = power[i] + self.b0[i];
+        }
+        if self.transient_warm_seed {
+            self.resid_buf.resize(n, 0.0);
+            self.seed_buf.resize(n, 0.0);
+        }
         for _ in 0..substeps {
             for i in 0..n {
-                self.rhs_buf[i] = cap[i] / h * temps[i] + power[i] + self.b0[i];
+                self.rhs_buf[i] = be.cap_over_h[i] * temps[i] + self.base_buf[i];
             }
-            self.solver.solve_with(
+            if self.transient_warm_seed {
+                // r = b − A·T_prev at the warm start. If the previous
+                // state already satisfies this sub-step (quasi-steady
+                // intervals do after the first sub-step), every
+                // remaining sub-step is bit-identical — stop here.
+                be.matrix
+                    .matvec_into_on(&self.pool, temps, &mut self.resid_buf);
+                for i in 0..n {
+                    self.resid_buf[i] = self.rhs_buf[i] - self.resid_buf[i];
+                }
+                let b_norm = vfc_num::norm2_on(&self.pool, &self.rhs_buf, &mut self.partials_buf);
+                let r_norm = vfc_num::norm2_on(&self.pool, &self.resid_buf, &mut self.partials_buf);
+                if r_norm <= self.solver.tolerance * b_norm {
+                    break;
+                }
+                // Seed with the preconditioned residual correction
+                // (M⁻¹·r is what the solver's first iteration would
+                // spend most of its work approximating).
+                be.precond.apply(&self.resid_buf, &mut self.seed_buf);
+                for i in 0..n {
+                    temps[i] += self.seed_buf[i];
+                }
+            }
+            let info = self.solver.solve_with(
                 &be.matrix,
                 &self.rhs_buf,
                 temps,
                 be.precond.as_ref(),
                 &mut self.workspace,
             )?;
+            self.last_step_iterations += info.iterations;
         }
         Ok(())
     }
@@ -477,17 +592,202 @@ impl ThermalModel {
         if matches!(&self.be_cache, Some(c) if c.key == key) {
             return Ok(());
         }
+        let cap_over_h: Vec<f64> = self.skeleton.cap.iter().map(|&c| c / h).collect();
         let mut matrix = self.g.clone();
         let values = matrix.values_mut();
         for (i, &di) in self.skeleton.diag_idx.iter().enumerate() {
-            values[di as usize] += self.skeleton.cap[i] / h;
+            values[di as usize] += cap_over_h[i];
         }
-        let precond = self.skeleton.config.solver.preconditioner.build(&matrix)?;
+        // The BE operator shares the skeleton's pattern (only diagonal
+        // values differ), so the skeleton's schedules apply to it too.
+        let precond = self.skeleton.config.solver.preconditioner.build_on(
+            &matrix,
+            Arc::clone(&self.pool),
+            Some(&self.skeleton.schedules),
+        )?;
         self.be_cache = Some(BeCache {
             key,
             matrix,
             precond,
+            cap_over_h,
         });
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StackThermalBuilder, ThermalConfig};
+    use proptest::prelude::*;
+    use vfc_floorplan::{ultrasparc, GridSpec};
+    use vfc_units::{Length, Watts};
+
+    fn liquid_model(cell_mm: f64, flow_ml: f64) -> ThermalModel {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid = GridSpec::from_cell_size(
+            stack.tiers()[0].floorplan(),
+            Length::from_millimeters(cell_mm),
+        );
+        StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
+            .build(Some(VolumetricFlow::from_ml_per_minute(flow_ml)))
+            .unwrap()
+    }
+
+    fn core_power(model: &ThermalModel, watts: f64) -> Vec<f64> {
+        let stack = ultrasparc::two_layer_liquid();
+        model.uniform_block_power(&stack, |b| {
+            if b.is_core() {
+                Watts::new(watts)
+            } else {
+                Watts::new(0.4)
+            }
+        })
+    }
+
+    #[test]
+    fn solves_are_bit_identical_across_kernel_pools() {
+        // The determinism contract, gated at model level: explicit 1-,
+        // 2- and 3-thread pools must reproduce the global-pool solves
+        // bit for bit, for both the steady state and the transient path.
+        let mut reference = liquid_model(1.0, 500.0);
+        let p = core_power(&reference, 2.5);
+        let steady_ref = reference.steady_state(&p, None).unwrap();
+        let mut temps_ref = steady_ref.clone();
+        let p_hot = core_power(&reference, 3.5);
+        reference
+            .step(&mut temps_ref, &p_hot, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        let iters_ref = reference.last_step_iterations();
+        assert!(iters_ref > 0, "power jump must cost iterations");
+
+        for threads in [1usize, 2, 3] {
+            let mut model = liquid_model(1.0, 500.0);
+            model.set_kernel_pool(KernelPool::new(threads));
+            let steady = model.steady_state(&p, None).unwrap();
+            assert!(
+                steady
+                    .iter()
+                    .zip(&steady_ref)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "steady state diverged at {threads} threads"
+            );
+            let mut temps = steady;
+            model
+                .step(&mut temps, &p_hot, Seconds::from_millis(100.0), 5)
+                .unwrap();
+            assert_eq!(model.last_step_iterations(), iters_ref);
+            assert!(
+                temps
+                    .iter()
+                    .zip(&temps_ref)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "transient diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn converged_substeps_short_circuit_without_touching_state() {
+        // Stepping from the exact steady state of the same power is a
+        // no-op: the first sub-step's warm start already meets the
+        // tolerance, so the whole interval ends with zero iterations and
+        // a bit-identical state.
+        let mut model = liquid_model(1.5, 600.0);
+        let p = core_power(&model, 3.0);
+        let steady = model.steady_state(&p, None).unwrap();
+        let mut temps = steady.clone();
+        model
+            .step(&mut temps, &p, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        assert_eq!(model.last_step_iterations(), 0);
+        assert!(
+            temps
+                .iter()
+                .zip(&steady)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "short-circuit must not touch the state"
+        );
+
+        // The ablation path (seed off) converges to the same answer
+        // within tolerance, but cannot skip the sub-step solves.
+        let mut ablation = liquid_model(1.5, 600.0);
+        ablation.set_transient_warm_seed(false);
+        let mut temps_ab = steady.clone();
+        ablation
+            .step(&mut temps_ab, &p, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        for (a, b) in temps_ab.iter().zip(&temps) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_seed_changes_iterations_but_not_temperatures() {
+        // Satellite gate: seeding with M⁻¹r changes how the solver gets
+        // there (iteration counts), never where it lands (temperatures
+        // beyond tolerance).
+        let mut seeded = liquid_model(1.0, 400.0);
+        let mut plain = liquid_model(1.0, 400.0);
+        plain.set_transient_warm_seed(false);
+        let p_cold = core_power(&seeded, 1.0);
+        let p_hot = core_power(&seeded, 3.5);
+        let start = seeded.steady_state(&p_cold, None).unwrap();
+
+        let mut t_seeded = start.clone();
+        let mut t_plain = start.clone();
+        let mut iter_pairs = Vec::new();
+        for _ in 0..4 {
+            seeded
+                .step(&mut t_seeded, &p_hot, Seconds::from_millis(100.0), 5)
+                .unwrap();
+            plain
+                .step(&mut t_plain, &p_hot, Seconds::from_millis(100.0), 5)
+                .unwrap();
+            iter_pairs.push((seeded.last_step_iterations(), plain.last_step_iterations()));
+            for (a, b) in t_seeded.iter().zip(&t_plain) {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
+        assert!(
+            iter_pairs.iter().any(|&(s, p)| s != p),
+            "seeding never changed an iteration count: {iter_pairs:?}"
+        );
+        assert!(
+            iter_pairs.iter().all(|&(s, p)| s <= p),
+            "seeding must not cost iterations: {iter_pairs:?}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Satellite property: across random flows, powers and sub-step
+        /// counts, the warm-seeded transient agrees with the plain warm
+        /// start within solver tolerance.
+        #[test]
+        fn warm_seed_agrees_within_tolerance(
+            flow_ml in 250.0f64..1000.0,
+            watts in 0.5f64..4.0,
+            substeps in 1usize..7,
+        ) {
+            let mut seeded = liquid_model(1.5, flow_ml);
+            let mut plain = liquid_model(1.5, flow_ml);
+            plain.set_transient_warm_seed(false);
+            let p0 = core_power(&seeded, 1.5);
+            let p1 = core_power(&seeded, watts);
+            let start = seeded.steady_state(&p0, None).unwrap();
+            let mut t_seeded = start.clone();
+            let mut t_plain = start;
+            seeded
+                .step(&mut t_seeded, &p1, Seconds::from_millis(100.0), substeps)
+                .unwrap();
+            plain
+                .step(&mut t_plain, &p1, Seconds::from_millis(100.0), substeps)
+                .unwrap();
+            for (a, b) in t_seeded.iter().zip(&t_plain) {
+                prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+            }
+        }
     }
 }

@@ -95,6 +95,9 @@ fn main() {
                 precond: precond_label(kind).into(),
                 threads,
                 ms,
+                // The steady scenario does not track Krylov iterations
+                // (solver_smoke gates those); 0 = "not recorded".
+                iters: 0,
             });
         }
         // All three preconditioners solve to the same 1e-10 residual; the

@@ -1,0 +1,111 @@
+//! Per-kernel microbenchmark on a real thermal matrix: times the CSR
+//! and stencil matvec/fused-residual kernels, the indexed and stencil
+//! ILU(0) triangular sweeps, and the O(n) vector passes a Krylov
+//! iteration spends the rest of its time in — the numbers that explain
+//! (or debunk) an end-to-end transient speedup.
+//!
+//! Usage: `kernel_probe [cell_mm]` (default 0.1, the paper's grid)
+
+use std::time::Instant;
+
+use vfc::floorplan::{ultrasparc, GridSpec};
+use vfc::num::{
+    norm2_on, Ilu0Preconditioner, KernelPool, LinearOperator, Preconditioner, StencilOp,
+};
+use vfc::thermal::{StackThermalBuilder, ThermalConfig};
+use vfc::units::{Length, VolumetricFlow, Watts};
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn main() {
+    let cell = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<f64>().ok())
+        .unwrap_or(0.1);
+    let stack = ultrasparc::two_layer_liquid();
+    let grid =
+        GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
+    let mut model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
+        .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
+        .expect("build");
+    let n = model.node_count();
+    let p = model.uniform_block_power(&stack, |b| {
+        if b.is_core() {
+            Watts::new(3.0)
+        } else {
+            Watts::new(0.5)
+        }
+    });
+    let x = model.steady_state(&p, None).expect("steady");
+    let a = model.conductance_matrix().clone();
+    let pat = model
+        .skeleton()
+        .stencil()
+        .expect("stencil decomposes")
+        .clone();
+    let pool = KernelPool::new(1);
+    let reps = if n > 20_000 { 50 } else { 500 };
+
+    println!(
+        "kernel probe: {n} nodes, {} nnz, {} runs (mean len {:.1}), {} classes",
+        a.nnz(),
+        pat.run_count(),
+        n as f64 / pat.run_count() as f64,
+        pat.class_count()
+    );
+
+    let mut y = vec![0.0; n];
+    let csr_mv = time_ms(reps, || a.matvec_into(&x, &mut y));
+    let op = StencilOp::new(&pat, a.values());
+    let st_mv = time_ms(reps, || op.matvec_into_on(&pool, &x, &mut y));
+    let mut r = vec![0.0; n];
+    let st_res = time_ms(reps, || op.residual_into_on(&pool, &p, &x, &mut r));
+
+    let seq = Ilu0Preconditioner::new_on(&a, KernelPool::new(1), None).expect("ilu");
+    let sch = Ilu0Preconditioner::new_on(
+        &a,
+        KernelPool::new(1),
+        Some(std::sync::Arc::clone(model.skeleton().schedules())),
+    )
+    .expect("ilu");
+    let mut z = vec![0.0; n];
+    let ilu_idx = time_ms(reps, || seq.apply(&r, &mut z));
+    let ilu_st = time_ms(reps, || sch.apply(&r, &mut z));
+
+    let mut partials = Vec::new();
+    let nrm = time_ms(reps, || {
+        std::hint::black_box(norm2_on(&pool, &r, &mut partials));
+    });
+    let mut w = vec![0.0; n];
+    let axpy = time_ms(reps, || {
+        for i in 0..n {
+            w[i] += 0.5 * r[i];
+        }
+        std::hint::black_box(&w);
+    });
+
+    println!("{:>28} {:>10}", "kernel", "ms");
+    for (name, ms) in [
+        ("csr matvec", csr_mv),
+        ("stencil matvec", st_mv),
+        ("stencil fused residual", st_res),
+        ("ilu0 apply (indexed)", ilu_idx),
+        ("ilu0 apply (stencil)", ilu_st),
+        ("norm2", nrm),
+        ("axpy pass", axpy),
+    ] {
+        println!("{name:>28} {ms:>10.4}");
+    }
+    println!(
+        "matvec speedup {:.2}x, sweep speedup {:.2}x",
+        csr_mv / st_mv,
+        ilu_idx / ilu_st
+    );
+}

@@ -219,10 +219,39 @@ fn main() {
         "flow patch must reproduce a from-scratch build exactly"
     );
 
+    // Operator-backend parity on the steady path: the index-free
+    // stencil backend must land the CSR reference's temperatures bit
+    // for bit.
+    {
+        use vfc::num::OperatorBackend;
+        let build_with = |backend| {
+            let mut cfg = ThermalConfig::default();
+            cfg.solver.backend = backend;
+            StackThermalBuilder::new(&stack, grid, cfg)
+                .build(Some(flow))
+                .expect("build")
+        };
+        let mut stencil_model = build_with(OperatorBackend::Stencil);
+        let mut csr_model = build_with(OperatorBackend::Csr);
+        if OperatorBackend::env_override().is_none() {
+            assert_eq!(stencil_model.operator_backend(), OperatorBackend::Stencil);
+            assert_eq!(csr_model.operator_backend(), OperatorBackend::Csr);
+        }
+        let t_st = stencil_model.steady_state(&p, None).expect("steady");
+        let t_csr = csr_model.steady_state(&p, None).expect("steady");
+        assert!(
+            t_st.iter()
+                .zip(&t_csr)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "stencil and CSR backends diverged on the steady solve"
+        );
+        println!("backend parity: stencil and CSR steady solves bit-identical");
+    }
+
     // Thread-count determinism, through the environment variable the
     // deployment knobs actually use.
     println!("VFC_NUM_THREADS determinism (1 vs 4):");
     gate_thread_determinism();
-    println!("ok: iteration ordering, budgets, agreement, patch identity and");
-    println!("    thread-count determinism hold");
+    println!("ok: iteration ordering, budgets, agreement, patch identity,");
+    println!("    backend parity and thread-count determinism hold");
 }

@@ -1,32 +1,42 @@
 //! Transient-path benchmark: the cost of one 100 ms sample (5
-//! backward-Euler sub-steps) versus grid resolution and kernel-pool
-//! thread count — the workload behind the paper's Fig. 6/7 runs, which
-//! take 3000 such samples per configuration.
+//! backward-Euler sub-steps) versus grid resolution, kernel-pool thread
+//! count and **operator backend** — the workload behind the paper's
+//! Fig. 6/7 runs, which take 3000 such samples per configuration.
 //!
 //! Alternates two power maps between samples so the warm-seed
 //! short-circuit cannot trivialize the solve (the steady tail of a real
 //! workload *is* trivialized by it — that case is reported separately),
-//! and cross-checks that every thread count lands bit-identical
-//! temperatures before reporting its timing.
+//! and cross-checks that every thread count **and every backend** lands
+//! bit-identical temperatures before reporting its timing. Reports the
+//! pool's broadcast/barrier counters per sample plus the ILU(0) sweep
+//! barrier plan (merged vs one-per-level), so level-merging gains are
+//! measurable without wall-clock.
 //!
-//! Usage: `transient_bench [--fine] [--threads 1,2,8] [--no-seed]`
-//!   `--fine`     adds the paper-native 100 µm grid (~58k nodes)
-//!   `--threads`  comma-separated pool sizes (default: 1 and the
-//!                machine's available parallelism, when that is > 1)
-//!   `--no-seed`  disable the M⁻¹r warm seed (the PR 3 stepping path;
-//!                ablation baseline for the seed's iteration savings)
+//! Usage: `transient_bench [--fine] [--threads 1,2,8] [--no-seed]
+//!                         [--backend stencil|csr|both] [--gate-iters]`
+//!   `--fine`       adds the paper-native 100 µm grid (~58k nodes)
+//!   `--threads`    comma-separated pool sizes (default: 1 and the
+//!                  machine's available parallelism, when that is > 1)
+//!   `--no-seed`    disable the M⁻¹r warm seed (the PR 3 stepping path;
+//!                  ablation baseline for the seed's iteration savings)
+//!   `--backend`    operator backend(s) to measure (default: both)
+//!   `--gate-iters` fail unless every measured Krylov iteration count
+//!                  equals the committed repo-root `BENCH_transient.json`
+//!                  record for the same case/grid — iteration counts are
+//!                  bit-deterministic, so any machine can gate exactly
 //!
-//! Writes `target/bench/BENCH_transient.json` (see `vfc_bench::perf`).
+//! Writes repo-root `BENCH_transient.json` plus a `target/bench/` copy
+//! (see `vfc_bench::perf`).
 
 use std::time::Instant;
 
 use vfc::floorplan::{ultrasparc, GridSpec};
-use vfc::num::KernelPool;
+use vfc::num::{Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner};
 use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
-use vfc_bench::perf::{report_bench_records, PerfRecord};
+use vfc_bench::perf::{read_bench_records, report_bench_records, root_record_path, PerfRecord};
 
-/// Samples timed per (grid, threads) cell.
+/// Samples timed per (grid, backend, threads) cell.
 const SAMPLES: usize = 10;
 
 fn parse_threads() -> Vec<usize> {
@@ -55,13 +65,40 @@ fn parse_threads() -> Vec<usize> {
     }
 }
 
+fn parse_backends() -> Vec<OperatorBackend> {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--backend") else {
+        return vec![OperatorBackend::Stencil, OperatorBackend::Csr];
+    };
+    match args.get(i + 1).map(String::as_str) {
+        Some("stencil") => vec![OperatorBackend::Stencil],
+        Some("csr") => vec![OperatorBackend::Csr],
+        Some("both") => vec![OperatorBackend::Stencil, OperatorBackend::Csr],
+        _ => {
+            eprintln!("--backend expects stencil, csr or both");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn backend_label(b: OperatorBackend) -> &'static str {
+    match b {
+        OperatorBackend::Stencil => "stencil",
+        OperatorBackend::Csr => "csr",
+    }
+}
+
 /// Median wall-clock ms of one 100 ms sample (5 sub-steps), alternating
-/// power maps; returns (median ms, total Krylov iterations, final temps).
+/// power maps; returns (median ms, total Krylov iterations, final
+/// temps, pool broadcasts and barriers over the timed samples only —
+/// the steady start and warm-up sample are excluded, so the per-sample
+/// counter averages measure exactly what the timings measure).
 fn time_transient(
     model: &mut ThermalModel,
+    pool: &KernelPool,
     p_low: &[f64],
     p_high: &[f64],
-) -> (f64, usize, Vec<f64>) {
+) -> (f64, usize, Vec<f64>, u64, u64) {
     let mut temps = model.steady_state(p_low, None).expect("steady start");
     // Warm-up sample: factors the BE operator, sizes the scratch.
     model
@@ -69,6 +106,7 @@ fn time_transient(
         .expect("warm-up step");
     let mut times = Vec::with_capacity(SAMPLES);
     let mut iterations = 0usize;
+    let before = pool.counters();
     for s in 0..SAMPLES {
         let p = if s % 2 == 0 { p_low } else { p_high };
         let t0 = Instant::now();
@@ -78,14 +116,40 @@ fn time_transient(
         times.push(t0.elapsed().as_secs_f64() * 1e3);
         iterations += model.last_step_iterations();
     }
+    let after = pool.counters();
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (times[times.len() / 2], iterations, temps)
+    (
+        times[times.len() / 2],
+        iterations,
+        temps,
+        after.broadcasts - before.broadcasts,
+        after.barriers - before.barriers,
+    )
 }
 
 fn main() {
     let fine = std::env::args().any(|a| a == "--fine");
     let no_seed = std::env::args().any(|a| a == "--no-seed");
+    let gate = std::env::args().any(|a| a == "--gate-iters");
     let threads = parse_threads();
+    let backends = parse_backends();
+    // Read the committed record BEFORE this run overwrites it.
+    let committed = if gate {
+        let path = root_record_path("transient");
+        match read_bench_records(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--gate-iters: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    if OperatorBackend::env_override().is_some() {
+        eprintln!("warning: VFC_OPERATOR_BACKEND overrides --backend; results are still exact");
+    }
+
     let stack = ultrasparc::two_layer_liquid();
     let flow = VolumetricFlow::from_ml_per_minute(600.0);
     let mut cells = vec![1.0, 0.5, 0.25];
@@ -95,76 +159,157 @@ fn main() {
 
     println!("Transient 100 ms sample (5 backward-Euler sub-steps), 2-layer liquid stack");
     println!(
-        "{:>9} {:>10} {:>9} {:>12} {:>9} {:>9}",
-        "cell mm", "nodes", "threads", "sample ms", "iters", "speedup"
+        "{:>9} {:>9} {:>8} {:>8} {:>11} {:>7} {:>8} {:>11} {:>10}",
+        "cell mm",
+        "nodes",
+        "backend",
+        "threads",
+        "sample ms",
+        "iters",
+        "speedup",
+        "broadcasts",
+        "barriers"
     );
     let mut records = Vec::new();
+    let mut gate_failures = 0usize;
+    let mut gate_matches = 0usize;
     for &cell in &cells {
         let grid =
             GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
-        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
         let mut base_ms = None;
+        // Determinism reference shared across backends AND thread
+        // counts: everything must land the same bits and iterations.
         let mut reference: Option<(usize, Vec<f64>)> = None;
-        for &t in &threads {
-            let mut model = builder.build(Some(flow)).expect("build");
-            model.set_kernel_pool(KernelPool::new(t));
-            model.set_transient_warm_seed(!no_seed);
-            let p_low = model.uniform_block_power(&stack, |b| {
-                if b.is_core() {
-                    Watts::new(1.5)
-                } else {
-                    Watts::new(0.4)
+        for &backend in &backends {
+            for &t in &threads {
+                let mut cfg = ThermalConfig::default();
+                cfg.solver.backend = backend;
+                let builder = StackThermalBuilder::new(&stack, grid, cfg);
+                let mut model = builder.build(Some(flow)).expect("build");
+                let pool = KernelPool::new(t);
+                model.set_kernel_pool(std::sync::Arc::clone(&pool));
+                model.set_transient_warm_seed(!no_seed);
+                let p_low = model.uniform_block_power(&stack, |b| {
+                    if b.is_core() {
+                        Watts::new(1.5)
+                    } else {
+                        Watts::new(0.4)
+                    }
+                });
+                let p_high = model.uniform_block_power(&stack, |b| {
+                    if b.is_core() {
+                        Watts::new(3.5)
+                    } else {
+                        Watts::new(0.6)
+                    }
+                });
+                let (ms, iters, temps, broadcasts, barriers) =
+                    time_transient(&mut model, &pool, &p_low, &p_high);
+                match &reference {
+                    None => reference = Some((iters, temps)),
+                    Some((ref_iters, ref_temps)) => {
+                        assert_eq!(
+                            iters,
+                            *ref_iters,
+                            "iteration count changed ({} backend, {t} threads)",
+                            backend_label(backend)
+                        );
+                        assert!(
+                            temps
+                                .iter()
+                                .zip(ref_temps)
+                                .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "temperatures diverged ({} backend, {t} threads)",
+                            backend_label(backend)
+                        );
+                    }
                 }
-            });
-            let p_high = model.uniform_block_power(&stack, |b| {
-                if b.is_core() {
-                    Watts::new(3.5)
-                } else {
-                    Watts::new(0.6)
+                let speedup = base_ms.get_or_insert(ms);
+                println!(
+                    "{:>9.2} {:>9} {:>8} {:>8} {:>11.2} {:>7} {:>7.2}x {:>11} {:>10}",
+                    cell,
+                    model.node_count(),
+                    backend_label(model.operator_backend()),
+                    t,
+                    ms,
+                    iters,
+                    *speedup / ms.max(1e-9),
+                    broadcasts / SAMPLES as u64,
+                    barriers / SAMPLES as u64,
+                );
+                let case = format!(
+                    "transient{}{}",
+                    if no_seed { "-noseed" } else { "" },
+                    if backend == OperatorBackend::Csr {
+                        "-csr"
+                    } else {
+                        ""
+                    }
+                );
+                if gate {
+                    if let Some(c) = committed
+                        .iter()
+                        .find(|c| c.case == case && c.grid_mm == cell && c.iters > 0)
+                    {
+                        gate_matches += 1;
+                        if c.iters != iters {
+                            eprintln!(
+                                "ITERATION GATE: {case} at {cell} mm measured {iters}, \
+                                 committed {}",
+                                c.iters
+                            );
+                            gate_failures += 1;
+                        }
+                    }
                 }
-            });
-            let (ms, iters, temps) = time_transient(&mut model, &p_low, &p_high);
-            // Determinism gate: every thread count must land the same
-            // bits and spend the same iterations.
-            match &reference {
-                None => reference = Some((iters, temps)),
-                Some((ref_iters, ref_temps)) => {
-                    assert_eq!(iters, *ref_iters, "iteration count changed at {t} threads");
-                    assert!(
-                        temps
-                            .iter()
-                            .zip(ref_temps)
-                            .all(|(a, b)| a.to_bits() == b.to_bits()),
-                        "temperatures diverged at {t} threads"
-                    );
-                }
+                records.push(PerfRecord {
+                    case,
+                    grid_mm: cell,
+                    nodes: model.node_count(),
+                    precond: "ilu0".into(),
+                    threads: t,
+                    ms,
+                    iters,
+                });
             }
-            let speedup = base_ms.get_or_insert(ms);
-            println!(
-                "{:>9.2} {:>10} {:>9} {:>12.2} {:>9} {:>8.2}x",
-                cell,
-                model.node_count(),
-                t,
-                ms,
-                iters,
-                *speedup / ms.max(1e-9),
-            );
-            records.push(PerfRecord {
-                case: if no_seed {
-                    "transient-noseed".into()
-                } else {
-                    "transient".into()
-                },
-                grid_mm: cell,
-                nodes: model.node_count(),
-                precond: "ilu0".into(),
-                threads: t,
-                ms,
-            });
         }
+        // Barrier plan on this grid: merged phases vs one-per-level
+        // (computed on a ≥2-thread pool, where the plan is live).
+        let plan_threads = threads.iter().copied().max().unwrap_or(2).max(2);
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let model = builder.build(Some(flow)).expect("build");
+        let ilu = Ilu0Preconditioner::new_on(
+            model.conductance_matrix(),
+            KernelPool::new(plan_threads),
+            Some(std::sync::Arc::clone(model.skeleton().schedules())),
+        )
+        .expect("factorization");
+        println!(
+            "{:>9.2} ILU(0) sweep barriers/apply: {} merged vs {} per-level ({} threads)",
+            cell,
+            ilu.barriers_per_apply(),
+            ilu.unmerged_barriers_per_apply(),
+            plan_threads,
+        );
     }
     println!("\n(sample = 100 ms of simulated time; power alternates between samples so");
     println!(" the warm-seed short-circuit cannot skip sub-steps — on a steady workload");
-    println!(" a converged sample costs one matvec and two norms instead)");
+    println!(" a converged sample costs one matvec and two norms instead; backends and");
+    println!(" thread counts are cross-checked bit-identical before timings are reported)");
     report_bench_records("transient", &records);
+    if gate {
+        assert_eq!(
+            gate_failures, 0,
+            "{gate_failures} iteration-gate mismatches against the committed record"
+        );
+        // A gate that compared nothing gates nothing: renamed cases or a
+        // truncated committed record must fail loudly, not pass quietly.
+        assert!(
+            gate_matches > 0,
+            "iteration gate matched no committed records — regenerate BENCH_transient.json"
+        );
+        println!(
+            "iteration gate: {gate_matches} measured counts match the committed record exactly"
+        );
+    }
 }

@@ -15,10 +15,14 @@
 //! * the `M⁻¹r` warm seed never costs iterations versus the plain warm
 //!   start, and saves some over the run;
 //! * stepping from a converged state short-circuits at zero iterations
-//!   without touching a single bit of the state.
+//!   without touching a single bit of the state;
+//! * the index-free stencil backend reproduces the CSR reference **bit
+//!   for bit** over the full scenario (the operator-parity gate);
+//! * ILU(0) level merging strictly reduces the sweep barrier count
+//!   versus the one-barrier-per-level plan.
 
 use vfc::floorplan::{ultrasparc, GridSpec};
-use vfc::num::{KernelPool, PAR_MIN_LEN};
+use vfc::num::{Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner, PAR_MIN_LEN};
 use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
 
@@ -58,10 +62,16 @@ fn run_scenario(model: &mut ThermalModel) -> (Vec<usize>, Vec<f64>) {
 }
 
 fn build_model(threads: usize) -> ThermalModel {
+    build_model_with(threads, OperatorBackend::Stencil)
+}
+
+fn build_model_with(threads: usize, backend: OperatorBackend) -> ThermalModel {
     let stack = ultrasparc::two_layer_liquid();
     let grid =
         GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(0.25));
-    let mut model = StackThermalBuilder::new(&stack, grid, ThermalConfig::default())
+    let mut cfg = ThermalConfig::default();
+    cfg.solver.backend = backend;
+    let mut model = StackThermalBuilder::new(&stack, grid, cfg)
         .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
         .expect("build");
     model.set_kernel_pool(KernelPool::new(threads));
@@ -112,6 +122,49 @@ fn main() {
                 assert!(identical, "temperatures diverged at {threads} threads");
             }
         }
+    }
+
+    // Operator-backend parity: the CSR reference must reproduce the
+    // stencil run bit for bit (same scenario, 2-thread pool).
+    {
+        let mut csr = build_model_with(2, OperatorBackend::Csr);
+        if OperatorBackend::env_override().is_none() {
+            assert_eq!(csr.operator_backend(), OperatorBackend::Csr);
+            assert_eq!(
+                build_model(2).operator_backend(),
+                OperatorBackend::Stencil,
+                "the 0.25 mm stacked grid must decompose into a stencil"
+            );
+        }
+        let (csr_iters, csr_temps) = run_scenario(&mut csr);
+        let (ref_iters, ref_temps) = reference.as_ref().expect("reference recorded");
+        assert_eq!(&csr_iters, ref_iters, "backends disagree on iterations");
+        assert!(
+            csr_temps
+                .iter()
+                .zip(ref_temps)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "stencil and CSR backends diverged"
+        );
+        println!("backend parity: stencil and CSR bit-identical over the scenario");
+    }
+
+    // Level merging: a parallel ILU(0) apply must cross strictly fewer
+    // barriers than the one-per-level PR 4 plan.
+    {
+        let model = build_model(1);
+        let ilu = Ilu0Preconditioner::new_on(
+            model.conductance_matrix(),
+            KernelPool::new(2),
+            Some(std::sync::Arc::clone(model.skeleton().schedules())),
+        )
+        .expect("factorization");
+        let (merged, unmerged) = (ilu.barriers_per_apply(), ilu.unmerged_barriers_per_apply());
+        assert!(
+            merged < unmerged,
+            "level merging must strictly reduce barriers: {merged} vs {unmerged}"
+        );
+        println!("barrier plan: {merged} merged vs {unmerged} per-level barriers per apply");
     }
 
     // Warm seed: never worse per sample, strictly better over the run.

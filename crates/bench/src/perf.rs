@@ -1,12 +1,21 @@
-//! Machine-readable perf records: `target/bench/BENCH_<name>.json`.
+//! Machine-readable perf records: repo-root `BENCH_<name>.json` (the
+//! committed, PR-to-PR perf trajectory) plus a `target/bench/` copy.
 //!
 //! The human-readable tables the bench binaries print are useless for
 //! tracking the perf trajectory across PRs, so the solver benches also
 //! emit one JSON file per run — a flat list of measurements tagged with
 //! everything needed to compare like against like (grid, node count,
-//! preconditioner, thread count). Files live under the
-//! workspace-anchored `target/bench/` and are overwritten per run; CI
-//! logs plus these files together form the perf record.
+//! preconditioner, thread count), including the **deterministic Krylov
+//! iteration count** where the scenario has one. Records are written to
+//! two places:
+//!
+//! * the workspace root (`BENCH_<name>.json`) — checked into the repo,
+//!   so the perf trajectory is reviewable between PRs, and the CI
+//!   iteration gate ([`read_bench_records`]) can diff live runs against
+//!   the committed record (iteration counts are bit-deterministic, so
+//!   they must match **exactly** on any machine; wall-clock `ms` is
+//!   informational);
+//! * `target/bench/BENCH_<name>.json` — the per-run scratch copy.
 
 use std::path::PathBuf;
 
@@ -27,6 +36,11 @@ pub struct PerfRecord {
     pub threads: usize,
     /// Measured wall-clock milliseconds (median unless noted by `case`).
     pub ms: f64,
+    /// Total Krylov iterations of the scenario — bit-deterministic
+    /// (machine- and thread-count-independent), so regression gates can
+    /// require exact equality. `0` when the scenario does not track
+    /// iterations.
+    pub iters: usize,
 }
 
 impl PerfRecord {
@@ -38,7 +52,29 @@ impl PerfRecord {
             ("precond".into(), JsonValue::String(self.precond.clone())),
             ("threads".into(), JsonValue::Number(self.threads as f64)),
             ("ms".into(), JsonValue::Number(self.ms)),
+            ("iters".into(), JsonValue::Number(self.iters as f64)),
         ])
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        let s = |name: &str| match v.get(name) {
+            Some(JsonValue::String(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let n = |name: &str| match v.get(name) {
+            Some(JsonValue::Number(x)) => Some(*x),
+            _ => None,
+        };
+        Some(Self {
+            case: s("case")?,
+            grid_mm: n("grid_mm")?,
+            nodes: n("nodes")? as usize,
+            precond: s("precond")?,
+            threads: n("threads")? as usize,
+            ms: n("ms")?,
+            // Absent in pre-PR 5 records: treat as "not tracked".
+            iters: n("iters").unwrap_or(0.0) as usize,
+        })
     }
 }
 
@@ -55,23 +91,32 @@ pub fn precond_label(kind: vfc::num::PreconditionerKind) -> &'static str {
     }
 }
 
-/// Where the records go: `bench/` inside the workspace `target/`
-/// (honouring `CARGO_TARGET_DIR`, like the result cache).
+/// Where the scratch records go: `bench/` inside the workspace
+/// `target/` (honouring `CARGO_TARGET_DIR`, like the result cache).
 pub fn bench_record_dir() -> PathBuf {
     vfc::runner::default_target_dir().join("bench")
 }
 
-/// Writes `BENCH_<name>.json` with the given records, creating
-/// `target/bench/` as needed; returns the path written. Failures are
-/// returned, not panicked — a read-only checkout should not fail a
-/// bench run, so callers print-and-continue.
-///
-/// # Errors
-///
-/// Any I/O failure creating the directory or writing the file.
-pub fn write_bench_records(name: &str, records: &[PerfRecord]) -> std::io::Result<PathBuf> {
-    let dir = bench_record_dir();
-    std::fs::create_dir_all(&dir)?;
+/// The workspace root (where the committed `BENCH_*.json` live): the
+/// nearest ancestor of the current directory holding a `Cargo.lock`.
+pub fn workspace_root_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Path of the committed (repo-root) record for one bench.
+pub fn root_record_path(name: &str) -> PathBuf {
+    workspace_root_dir().join(format!("BENCH_{name}.json"))
+}
+
+fn encode(name: &str, records: &[PerfRecord]) -> String {
     let doc = JsonValue::Object(vec![
         ("bench".into(), JsonValue::String(name.to_string())),
         (
@@ -79,16 +124,72 @@ pub fn write_bench_records(name: &str, records: &[PerfRecord]) -> std::io::Resul
             JsonValue::Array(records.iter().map(PerfRecord::to_json).collect()),
         ),
     ]);
-    let path = dir.join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, format!("{}\n", doc.encode()))?;
-    Ok(path)
+    format!("{}\n", doc.encode())
+}
+
+/// Writes `BENCH_<name>.json` at the repo root *and* under
+/// `target/bench/` (created as needed); returns the root path.
+///
+/// The `target/bench/` copy holds exactly this run. The repo-root copy
+/// is **merged**: this run's records replace committed records with the
+/// same `(case, grid_mm, threads)` key, and committed records this run
+/// did not measure are kept — so a coarse-grid run never truncates the
+/// committed 100 µm trajectory rows. Failures are returned, not
+/// panicked — a read-only checkout should not fail a bench run, so
+/// callers print-and-continue.
+///
+/// # Errors
+///
+/// Any I/O failure creating the directory or writing either file.
+pub fn write_bench_records(name: &str, records: &[PerfRecord]) -> std::io::Result<PathBuf> {
+    let dir = bench_record_dir();
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(
+        dir.join(format!("BENCH_{name}.json")),
+        encode(name, records),
+    )?;
+    let root = root_record_path(name);
+    let mut merged: Vec<PerfRecord> = records.to_vec();
+    if let Ok(committed) = read_bench_records(&root) {
+        let key = |r: &PerfRecord| (r.case.clone(), r.grid_mm.to_bits(), r.threads);
+        for old in committed {
+            if !merged.iter().any(|new| key(new) == key(&old)) {
+                merged.push(old);
+            }
+        }
+    }
+    std::fs::write(&root, encode(name, &merged))?;
+    Ok(root)
+}
+
+/// Reads a `BENCH_*.json` file back into records.
+///
+/// # Errors
+///
+/// I/O failure, or a malformed document.
+pub fn read_bench_records(path: &std::path::Path) -> std::io::Result<Vec<PerfRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    let malformed = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {what}", path.display()),
+        )
+    };
+    let doc = JsonValue::parse(&text).map_err(|e| malformed(&format!("parse error: {e:?}")))?;
+    let Some(JsonValue::Array(items)) = doc.get("records") else {
+        return Err(malformed("missing records array"));
+    };
+    items
+        .iter()
+        .map(|v| PerfRecord::from_json(v).ok_or_else(|| malformed("malformed record")))
+        .collect()
 }
 
 /// Writes the records and prints where they went (or why they didn't) —
 /// the shared tail of every bench binary.
 pub fn report_bench_records(name: &str, records: &[PerfRecord]) {
     match write_bench_records(name, records) {
-        Ok(path) => println!("\nperf records: {}", path.display()),
+        Ok(path) => println!("\nperf records: {} (+ target/bench copy)", path.display()),
         Err(e) => println!("\nperf records not written: {e}"),
     }
 }
@@ -97,7 +198,7 @@ pub fn report_bench_records(name: &str, records: &[PerfRecord]) {
 mod tests {
     use super::*;
 
-    fn record(case: &str, ms: f64) -> PerfRecord {
+    fn record(case: &str, ms: f64, iters: usize) -> PerfRecord {
         PerfRecord {
             case: case.into(),
             grid_mm: 0.5,
@@ -105,6 +206,7 @@ mod tests {
             precond: "ilu0".into(),
             threads: 4,
             ms,
+            iters,
         }
     }
 
@@ -114,36 +216,59 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_test.json");
-        let doc = JsonValue::Object(vec![
-            ("bench".into(), JsonValue::String("test".into())),
-            (
-                "records".into(),
-                JsonValue::Array(vec![record("steady", 0.45).to_json()]),
-            ),
-        ]);
-        std::fs::write(&path, doc.encode()).unwrap();
-
-        let parsed = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        let records = match parsed.get("records") {
-            Some(JsonValue::Array(items)) => items.clone(),
-            other => panic!("bad records member: {other:?}"),
-        };
-        assert_eq!(records.len(), 1);
-        let rec = &records[0];
-        assert!(matches!(rec.get("case"), Some(JsonValue::String(s)) if s == "steady"));
-        assert!(matches!(rec.get("nodes"), Some(JsonValue::Number(n)) if *n == 2300.0));
-        assert!(matches!(rec.get("threads"), Some(JsonValue::Number(n)) if *n == 4.0));
+        let records = [record("steady", 0.45, 11), record("transient", 9.5, 120)];
+        std::fs::write(&path, encode("test", &records)).unwrap();
+        let parsed = read_bench_records(&path).unwrap();
+        assert_eq!(parsed.as_slice(), records.as_slice());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn writer_creates_the_bench_dir_and_file() {
-        let records = [record("steady", 1.25), record("transient", 9.5)];
-        let path = write_bench_records("unit_test", &records).unwrap();
-        assert!(path.ends_with("BENCH_unit_test.json"));
-        let text = std::fs::read_to_string(&path).unwrap();
-        let doc = JsonValue::parse(&text).unwrap();
-        assert!(matches!(doc.get("bench"), Some(JsonValue::String(s)) if s == "unit_test"));
-        std::fs::remove_file(&path).unwrap();
+    fn pre_iters_records_parse_with_zero_iterations() {
+        let v = JsonValue::parse(
+            r#"{"case":"steady","grid_mm":0.5,"nodes":2300,"precond":"ilu0","threads":4,"ms":1.5}"#,
+        )
+        .unwrap();
+        let r = PerfRecord::from_json(&v).unwrap();
+        assert_eq!(r.iters, 0);
+        assert_eq!(r.nodes, 2300);
+    }
+
+    #[test]
+    fn root_merge_keeps_unmeasured_committed_records() {
+        // A coarse run must not truncate the committed fine-grid rows.
+        let name = format!("merge_test_{}", std::process::id());
+        let mut fine = record("transient", 150.0, 1270);
+        fine.grid_mm = 0.1;
+        write_bench_records(&name, &[fine.clone()]).unwrap();
+        let coarse = record("transient", 1.2, 270);
+        let root = write_bench_records(&name, &[coarse.clone()]).unwrap();
+        let merged = read_bench_records(&root).unwrap();
+        assert!(merged.contains(&coarse), "new record written");
+        assert!(merged.contains(&fine), "committed fine row preserved");
+        // Re-measuring the same key replaces instead of duplicating.
+        let mut fine2 = fine.clone();
+        fine2.ms = 140.0;
+        write_bench_records(&name, &[fine2.clone()]).unwrap();
+        let merged = read_bench_records(&root).unwrap();
+        assert!(merged.contains(&fine2) && !merged.contains(&fine));
+        std::fs::remove_file(&root).unwrap();
+        std::fs::remove_file(bench_record_dir().join(format!("BENCH_{name}.json"))).unwrap();
+    }
+
+    #[test]
+    fn writer_creates_root_and_target_copies() {
+        let records = [record("steady", 1.25, 7)];
+        let root = write_bench_records("unit_test", &records).unwrap();
+        assert!(root.ends_with("BENCH_unit_test.json"));
+        let scratch = bench_record_dir().join("BENCH_unit_test.json");
+        assert_eq!(
+            std::fs::read_to_string(&root).unwrap(),
+            std::fs::read_to_string(&scratch).unwrap(),
+            "root and target copies must match"
+        );
+        assert_eq!(read_bench_records(&root).unwrap().as_slice(), &records);
+        std::fs::remove_file(&root).unwrap();
+        std::fs::remove_file(&scratch).unwrap();
     }
 }

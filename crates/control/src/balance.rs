@@ -13,11 +13,16 @@
 use std::sync::Arc;
 
 use vfc_floorplan::Stack3d;
-use vfc_num::{CsrBuilder, KernelSchedules, SolverWorkspace};
+use vfc_num::{CsrBuilder, KernelSchedules, SolverWorkspace, StencilOp, StencilPattern};
 use vfc_thermal::ThermalModel;
 use vfc_units::Celsius;
 
 use crate::ControlError;
+
+/// Minimum reduced-system order before building a one-shot stencil
+/// decomposition pays for itself (the characterization solves a handful
+/// of these per run; tiny systems solve faster than they decompose).
+const STENCIL_MIN_ORDER: usize = 4_096;
 
 /// Computes the per-core balanced power budgets at each balance target,
 /// returning `(range upper bound, powers)` rows ready for
@@ -128,14 +133,34 @@ pub fn balanced_core_powers(
     let pool = Arc::clone(model.kernel_pool());
     let schedules = (pool.threads() > 1 && m >= vfc_num::PAR_MIN_LEN)
         .then(|| Arc::new(KernelSchedules::for_matrix(&reduced)));
+    // The reduced system keeps most of the grid's structure (only core
+    // cells drop out), so the index-free stencil backend usually still
+    // decomposes it; bit-identical to CSR, so the recovered balanced
+    // powers — and therefore the TALB figure rows — are unchanged.
+    let backend = vfc_num::OperatorBackend::env_override().unwrap_or(scfg.backend);
+    let stencil: Option<Arc<StencilPattern>> = match (&schedules, backend) {
+        (_, vfc_num::OperatorBackend::Csr) => None,
+        (Some(s), _) => s.stencil().cloned(),
+        (None, _) => (m >= STENCIL_MIN_ORDER)
+            .then(|| StencilPattern::for_matrix(&reduced).map(Arc::new))
+            .flatten(),
+    };
     let precond = scfg
         .preconditioner
         .build_on(&reduced, Arc::clone(&pool), schedules.as_ref())
         .map_err(vfc_thermal::ThermalError::from)?;
     let mut ws = SolverWorkspace::with_pool(pool);
-    solver
-        .solve_with(&reduced, &rhs, &mut t_u, precond.as_ref(), &mut ws)
-        .map_err(vfc_thermal::ThermalError::from)?;
+    match &stencil {
+        Some(p) => solver.solve_with(
+            &StencilOp::new(p, reduced.values()),
+            &rhs,
+            &mut t_u,
+            precond.as_ref(),
+            &mut ws,
+        ),
+        None => solver.solve_with(&reduced, &rhs, &mut t_u, precond.as_ref(), &mut ws),
+    }
+    .map_err(vfc_thermal::ThermalError::from)?;
 
     // Recover the required injection at each fixed node:
     //   P_f = Σ_j G[f,j]·T_j − b0_f

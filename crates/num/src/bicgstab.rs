@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use crate::pool::{par_range, SharedMut};
 use crate::{
-    dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, NumError, Preconditioner, SolveInfo,
-    SolverWorkspace,
+    dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, LinearOperator, NumError, Preconditioner,
+    SolveInfo, SolverWorkspace,
 };
 
 /// Stabilized bi-conjugate gradient solver.
@@ -55,16 +55,19 @@ impl BiCgStab {
     /// caller-owned workspace; allocation-free when the workspace has
     /// already reached the matrix order.
     ///
-    /// The matvecs, reductions and fused vector updates run on the
-    /// workspace's [`KernelPool`](crate::KernelPool); thread count never
-    /// changes the iterates (determinism by partitioning).
+    /// `a` is any [`LinearOperator`] — the CSR reference backend or the
+    /// index-free stencil backend, plain or diagonally shifted; all
+    /// backends produce bit-identical iterates. The matvecs, reductions
+    /// and fused vector updates run on the workspace's
+    /// [`KernelPool`](crate::KernelPool); thread count never changes
+    /// the iterates (determinism by partitioning).
     ///
     /// # Errors
     ///
     /// As [`solve`](Self::solve).
-    pub fn solve_with(
+    pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
-        a: &CsrMatrix,
+        a: &A,
         b: &[f64],
         x: &mut [f64],
         m: &dyn Preconditioner,
@@ -102,17 +105,9 @@ impl BiCgStab {
             });
         }
 
-        a.matvec_into_on(&pool, x, r);
-        {
-            let rw = SharedMut(r.as_mut_ptr());
-            par_range(&pool, n, &|s, e| {
-                // SAFETY: ranges are disjoint; r is touched only through
-                // `rw` inside this closure.
-                for i in s..e {
-                    unsafe { *rw.ptr().add(i) = b[i] - *rw.ptr().add(i) };
-                }
-            });
-        }
+        // Fused initial residual r = b − A·x: one pass over the rows,
+        // bit-identical to a matvec followed by the subtraction.
+        a.residual_into_on(&pool, b, x, r);
         r0.copy_from_slice(r);
         let mut rho = 1.0f64;
         let mut alpha = 1.0f64;

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use crate::pool::{par_range, SharedMut};
 use crate::{
-    dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, NumError, Preconditioner, SolveInfo,
-    SolverWorkspace,
+    dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, LinearOperator, NumError, Preconditioner,
+    SolveInfo, SolverWorkspace,
 };
 
 /// Conjugate-gradient solver for symmetric positive-definite systems.
@@ -48,14 +48,15 @@ impl ConjugateGradient {
 
     /// Solves `A·x = b` with an explicit preconditioner and a caller-owned
     /// workspace; allocation-free when the workspace has already reached
-    /// the matrix order.
+    /// the matrix order. `a` is any [`LinearOperator`] backend; all
+    /// backends produce bit-identical iterates.
     ///
     /// # Errors
     ///
     /// As [`solve`](Self::solve).
-    pub fn solve_with(
+    pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
-        a: &CsrMatrix,
+        a: &A,
         b: &[f64],
         x: &mut [f64],
         m: &dyn Preconditioner,
@@ -89,16 +90,9 @@ impl ConjugateGradient {
             });
         }
 
-        a.matvec_into_on(&pool, x, r);
-        {
-            let rw = SharedMut(r.as_mut_ptr());
-            par_range(&pool, n, &|s, e| {
-                // SAFETY: disjoint ranges; r touched only through `rw`.
-                for i in s..e {
-                    unsafe { *rw.ptr().add(i) = b[i] - *rw.ptr().add(i) };
-                }
-            });
-        }
+        // Fused initial residual r = b − A·x (bit-identical to matvec
+        // plus subtraction, one pass over the rows).
+        a.residual_into_on(&pool, b, x, r);
         m.apply(r, z);
         p.copy_from_slice(z);
         let mut rz = dot_on(&pool, r, z, partials);

@@ -8,8 +8,13 @@
 //!   for small systems (ARMA normal equations, TALB weight solves) and as a
 //!   reference oracle for the sparse iterative solvers in tests;
 //! * [`CsrMatrix`] (compressed sparse row) assembled from triplets, with
-//!   reference-counted index arrays so same-pattern matrix families share
-//!   one structure;
+//!   reference-counted index arrays (and copy-on-write value arrays) so
+//!   same-pattern matrix families share one structure;
+//! * the [`LinearOperator`] abstraction the solvers iterate on, with the
+//!   CSR reference backend ([`CsrOp`], optionally diagonally shifted for
+//!   backward-Euler operators) and the index-free [`stencil`] backend
+//!   ([`StencilPattern`]/[`StencilOp`]) — **bit-identical** to CSR at
+//!   every thread count, selected by [`OperatorBackend`];
 //! * [`ConjugateGradient`] for symmetric positive-definite systems;
 //! * [`BiCgStab`] for the nonsymmetric systems produced by advection;
 //! * the [`Preconditioner`] trait with [`JacobiPreconditioner`],
@@ -53,24 +58,28 @@ mod cg;
 mod dense;
 mod error;
 pub mod lstsq;
+mod operator;
 mod pool;
 mod precond;
 mod schedule;
 mod sparse;
 pub mod stats;
+pub mod stencil;
 mod workspace;
 
 pub use self::bicgstab::BiCgStab;
 pub use self::cg::ConjugateGradient;
 pub use self::dense::DenseMatrix;
 pub use self::error::NumError;
-pub use self::pool::{KernelPool, PAR_MIN_LEN, THREADS_ENV};
+pub use self::operator::{CsrOp, LinearOperator, OperatorBackend, BACKEND_ENV};
+pub use self::pool::{KernelPool, PoolCounters, PAR_MIN_LEN, THREADS_ENV};
 pub use self::precond::{
     IdentityPreconditioner, Ilu0Preconditioner, JacobiPreconditioner, MulticolorGsPreconditioner,
     Preconditioner, PreconditionerKind,
 };
 pub use self::schedule::{ColorSchedule, KernelSchedules, TriangularLevels};
 pub use self::sparse::{CsrBuilder, CsrMatrix};
+pub use self::stencil::{StencilOp, StencilPattern};
 pub use self::workspace::SolverWorkspace;
 
 /// Convergence report returned by the iterative solvers.

@@ -35,7 +35,7 @@
 //! from inside a kernel) simply runs its partition serially — permitted
 //! precisely because partitioning never changes results.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Environment variable overriding the global pool's thread count.
@@ -102,6 +102,22 @@ pub struct KernelPool {
     /// serially", which keeps nested and concurrent callers deadlock-free.
     broadcast_gate: Mutex<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Worker wake-ups actually performed (serial fallbacks not counted).
+    broadcasts: AtomicU64,
+    /// Sweep barrier waits crossed inside broadcasts (reported by the
+    /// level/color sweeps via [`note_barriers`](Self::note_barriers)).
+    barriers: AtomicU64,
+}
+
+/// Snapshot of a pool's synchronization counters — the cost model the
+/// level-merging work optimizes, measurable without wall-clock (see
+/// `transient_bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolCounters {
+    /// Worker wake-ups performed (one per parallel kernel launch).
+    pub broadcasts: u64,
+    /// Sweep barriers crossed (one per level/color phase boundary).
+    pub barriers: u64,
 }
 
 impl std::fmt::Debug for PoolShared {
@@ -121,6 +137,8 @@ impl KernelPool {
                 shared: None,
                 broadcast_gate: Mutex::new(()),
                 workers: Vec::new(),
+                broadcasts: AtomicU64::new(0),
+                barriers: AtomicU64::new(0),
             });
         }
         let shared = Arc::new(PoolShared {
@@ -148,6 +166,8 @@ impl KernelPool {
             shared: Some(shared),
             broadcast_gate: Mutex::new(()),
             workers,
+            broadcasts: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
         })
     }
 
@@ -162,6 +182,22 @@ impl KernelPool {
     /// parked workers).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The pool's broadcast/barrier counters since construction.
+    /// Counters are diagnostics only — they never influence kernel
+    /// execution or results.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records `n` sweep-barrier crossings (called by the phased sweep
+    /// kernels once per parallel apply).
+    pub(crate) fn note_barriers(&self, n: u64) {
+        self.barriers.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Runs `task(participant, participants)` on every participant — the
@@ -182,6 +218,7 @@ impl KernelPool {
             task(0, 1);
             return;
         };
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
         {
             let mut st = shared.state.lock().expect("pool state");
             // SAFETY: `Job::task` outlives the broadcast — the guard

@@ -44,6 +44,14 @@ pub trait Preconditioner: std::fmt::Debug + Send + Sync {
 
     /// Matrix order this preconditioner was built for.
     fn order(&self) -> usize;
+
+    /// Barriers one parallel `apply` crosses on this preconditioner's
+    /// build pool (0 when the parallel path cannot engage). A
+    /// measurable proxy for sweep synchronization cost — see
+    /// [`KernelPool::counters`].
+    fn barriers_per_apply(&self) -> usize {
+        0
+    }
 }
 
 /// No preconditioning: `z = r`.
@@ -107,6 +115,334 @@ impl Preconditioner for JacobiPreconditioner {
     }
 }
 
+/// One triangular factor re-ordered into **level-major stencil runs**.
+///
+/// Rows are stored wavefront-level-major (so all of a level's rows are
+/// independent and the loads pipeline — natural row order instead
+/// chains every row's `z[i]` through a just-written neighbour, a
+/// store-to-load latency wall measuring ~3× a matvec per entry), and
+/// consecutive positions of one level are grouped into **runs** sharing
+/// an offset class and a constant row stride (wavefronts cross the
+/// stacked grid as arithmetic row progressions). A run's kernel streams
+/// only the 8-byte values — row indices and column addresses are
+/// computed, not loaded — so the re-ordering costs no extra memory
+/// traffic over the natural-order split factor.
+///
+/// Each row's entries keep their ascending-column accumulation order,
+/// so results are bit-identical to the natural-order sweep.
+#[derive(Debug, Clone)]
+struct LevelMajorFactor {
+    /// Position bounds per level (for the parallel participant slices).
+    level_ptr: Vec<u32>,
+    runs: Vec<SweepRun>,
+    /// Offset class table: class `c` owns
+    /// `class_off[class_ptr[c]..class_ptr[c+1]]`.
+    class_ptr: Vec<u32>,
+    class_off: Vec<i32>,
+    /// Values in level-major row order (each row ascending-column).
+    vals: Vec<f64>,
+    /// Permuted reciprocal diagonal (backward factor only).
+    diag: Vec<f64>,
+    positions: usize,
+}
+
+/// A maximal block of level-consecutive positions whose rows form an
+/// arithmetic progression (`row0 + q·stride`) and share one offset
+/// class.
+#[derive(Debug, Clone, Copy)]
+struct SweepRun {
+    pos0: u32,
+    pos1: u32,
+    row0: u32,
+    stride: i32,
+    val0: u32,
+    class: u32,
+}
+
+impl LevelMajorFactor {
+    /// Compacts a split factor (`f_ptr`/`f_col`/`f_val`, natural row
+    /// order) into level-major stencil runs; `inv_diag` is permuted
+    /// along when given.
+    fn build(
+        set: &crate::schedule::LevelSet,
+        f_ptr: &[u32],
+        f_col: &[u32],
+        f_val: &[f64],
+        inv_diag: Option<&[f64]>,
+    ) -> Self {
+        let n = f_ptr.len() - 1;
+        let mut vals = Vec::with_capacity(f_val.len());
+        let mut diag = Vec::with_capacity(if inv_diag.is_some() { n } else { 0 });
+        let mut level_ptr = Vec::with_capacity(set.count() + 1);
+        let mut runs: Vec<SweepRun> = Vec::new();
+        let mut class_ptr = vec![0u32];
+        let mut class_off: Vec<i32> = Vec::new();
+        let mut class_map: std::collections::HashMap<Vec<i32>, u32> =
+            std::collections::HashMap::new();
+        let mut sig = Vec::new();
+        let mut pos = 0u32;
+        level_ptr.push(0);
+        for l in 0..set.count() {
+            let mut level_open = false;
+            for &i in set.level(l) {
+                let i = i as usize;
+                let (s, e) = (f_ptr[i] as usize, f_ptr[i + 1] as usize);
+                sig.clear();
+                sig.extend(f_col[s..e].iter().map(|&c| c as i32 - i as i32));
+                let class = match class_map.get(&sig) {
+                    Some(&c) => c,
+                    None => {
+                        let c = class_ptr.len() as u32 - 1;
+                        class_off.extend_from_slice(&sig);
+                        class_ptr.push(class_off.len() as u32);
+                        class_map.insert(sig.clone(), c);
+                        c
+                    }
+                };
+                vals.extend_from_slice(&f_val[s..e]);
+                if let Some(d) = inv_diag {
+                    diag.push(d[i]);
+                }
+                // Extend the current run when the class matches and the
+                // row progression stays arithmetic (a fresh second row
+                // fixes the stride); never across a level boundary.
+                let extended = level_open
+                    && runs.last_mut().is_some_and(|run| {
+                        if run.class != class {
+                            return false;
+                        }
+                        let len = run.pos1 - run.pos0;
+                        let delta = i as i64 - run.row0 as i64;
+                        if len == 1 {
+                            if let Ok(stride) = i32::try_from(delta) {
+                                run.stride = stride;
+                                run.pos1 += 1;
+                                return true;
+                            }
+                            return false;
+                        }
+                        if delta == run.stride as i64 * len as i64 {
+                            run.pos1 += 1;
+                            return true;
+                        }
+                        false
+                    });
+                if !extended {
+                    runs.push(SweepRun {
+                        pos0: pos,
+                        pos1: pos + 1,
+                        row0: i as u32,
+                        stride: 0,
+                        val0: (vals.len() - (e - s)) as u32,
+                        class,
+                    });
+                }
+                level_open = true;
+                pos += 1;
+            }
+            level_ptr.push(pos);
+        }
+        Self {
+            level_ptr,
+            runs,
+            class_ptr,
+            class_off,
+            vals,
+            diag,
+            positions: pos as usize,
+        }
+    }
+
+    /// The position range of one level.
+    #[inline]
+    fn level_range(&self, l: usize) -> (usize, usize) {
+        (self.level_ptr[l] as usize, self.level_ptr[l + 1] as usize)
+    }
+
+    #[inline]
+    fn offsets(&self, class: u32) -> &[i32] {
+        &self.class_off
+            [self.class_ptr[class as usize] as usize..self.class_ptr[class as usize + 1] as usize]
+    }
+
+    /// Runs a sweep kernel over positions `a..b` (which must respect
+    /// level boundaries exactly as the caller's barrier plan does).
+    ///
+    /// # Safety
+    ///
+    /// Every `z[i + off]` read must already hold its final value for
+    /// this sweep direction, and no other thread may concurrently write
+    /// the rows of `a..b`.
+    #[inline]
+    unsafe fn sweep_positions<const BACKWARD: bool>(
+        &self,
+        a: usize,
+        b: usize,
+        r: &[f64],
+        z: *mut f64,
+    ) {
+        let mut ri = self.runs.partition_point(|r| (r.pos1 as usize) <= a);
+        while ri < self.runs.len() {
+            let run = self.runs[ri];
+            let qa = (run.pos0 as usize).max(a);
+            let qb = (run.pos1 as usize).min(b);
+            if qa >= b {
+                break;
+            }
+            let off = self.offsets(run.class);
+            let base = run.row0 as i64 + (qa - run.pos0 as usize) as i64 * run.stride as i64;
+            let vb = run.val0 as usize + (qa - run.pos0 as usize) * off.len();
+            // SAFETY: run rows/columns were in range at build time; the
+            // caller guarantees the dependency order.
+            unsafe {
+                self.run_segment::<BACKWARD>(
+                    off,
+                    run.stride as isize,
+                    base as isize,
+                    vb,
+                    qa,
+                    qb,
+                    r,
+                    z,
+                );
+            }
+            ri += 1;
+        }
+    }
+
+    /// One run segment, dispatched to a const-`k` kernel so the per-row
+    /// body fully unrolls (rows of a run are level-independent, so the
+    /// kernel processes several per loop trip and their loads pipeline).
+    ///
+    /// # Safety
+    ///
+    /// As [`sweep_positions`](Self::sweep_positions).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    unsafe fn run_segment<const BACKWARD: bool>(
+        &self,
+        off: &[i32],
+        stride: isize,
+        base: isize,
+        vb: usize,
+        qa: usize,
+        qb: usize,
+        r: &[f64],
+        z: *mut f64,
+    ) {
+        macro_rules! k_arm {
+            ($K:literal) => {
+                // SAFETY: forwarded from the caller.
+                unsafe { self.segment_rows::<BACKWARD, $K>(off, stride, base, vb, qa, qb, r, z) }
+            };
+        }
+        match off.len() {
+            0 => k_arm!(0),
+            1 => k_arm!(1),
+            2 => k_arm!(2),
+            3 => k_arm!(3),
+            4 => k_arm!(4),
+            5 => k_arm!(5),
+            6 => k_arm!(6),
+            7 => k_arm!(7),
+            8 => k_arm!(8),
+            // SAFETY: forwarded from the caller.
+            _ => unsafe {
+                self.segment_rows_generic::<BACKWARD>(off, stride, base, vb, qa, qb, r, z)
+            },
+        }
+    }
+
+    /// Const-`K` row loop of [`run_segment`](Self::run_segment).
+    ///
+    /// # Safety
+    ///
+    /// As [`sweep_positions`](Self::sweep_positions).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn segment_rows<const BACKWARD: bool, const K: usize>(
+        &self,
+        off: &[i32],
+        stride: isize,
+        base: isize,
+        mut vb: usize,
+        qa: usize,
+        qb: usize,
+        r: &[f64],
+        z: *mut f64,
+    ) {
+        let mut o = [0isize; K];
+        for (d, &s) in o.iter_mut().zip(off) {
+            *d = s as isize;
+        }
+        let mut i = base;
+        // SAFETY: forwarded from the caller; each row's accumulation is
+        // the canonical ascending-column order.
+        unsafe {
+            for q in qa..qb {
+                let row = i as usize;
+                let mut acc = if BACKWARD {
+                    *z.add(row)
+                } else {
+                    *r.get_unchecked(row)
+                };
+                for (p, &o) in o.iter().enumerate() {
+                    acc -= *self.vals.get_unchecked(vb + p) * *z.offset(i + o);
+                }
+                *z.add(row) = if BACKWARD {
+                    acc * *self.diag.get_unchecked(q)
+                } else {
+                    acc
+                };
+                i += stride;
+                vb += K;
+            }
+        }
+    }
+
+    /// Runtime-`k` fallback of [`run_segment`](Self::run_segment).
+    ///
+    /// # Safety
+    ///
+    /// As [`sweep_positions`](Self::sweep_positions).
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn segment_rows_generic<const BACKWARD: bool>(
+        &self,
+        off: &[i32],
+        stride: isize,
+        base: isize,
+        mut vb: usize,
+        qa: usize,
+        qb: usize,
+        r: &[f64],
+        z: *mut f64,
+    ) {
+        let k = off.len();
+        let mut i = base;
+        // SAFETY: forwarded from the caller.
+        unsafe {
+            for q in qa..qb {
+                let row = i as usize;
+                let mut acc = if BACKWARD {
+                    *z.add(row)
+                } else {
+                    *r.get_unchecked(row)
+                };
+                for (p, &o) in off.iter().enumerate() {
+                    acc -= *self.vals.get_unchecked(vb + p) * *z.offset(i + o as isize);
+                }
+                *z.add(row) = if BACKWARD {
+                    acc * *self.diag.get_unchecked(q)
+                } else {
+                    acc
+                };
+                i += stride;
+                vb += k;
+            }
+        }
+    }
+}
+
 /// Splits `len` items across `total` participants; participant `me` owns
 /// the contiguous slice `[start, end)`. Contiguity keeps each worker's
 /// reads/writes streaming.
@@ -149,6 +485,22 @@ pub struct Ilu0Preconditioner {
     u_val: Vec<f64>,
     /// Shared pattern schedules; `Some` enables the level-parallel path.
     schedules: Option<Arc<KernelSchedules>>,
+    /// Level-major compactions of the triangular factors (built only
+    /// with schedules): rows of each wavefront level stored
+    /// back-to-back so the sweeps stream their value/column arrays
+    /// while the rows of a level retire independently — natural row
+    /// order instead chains every row through its just-written
+    /// neighbour (a store-to-load latency wall measuring ~3× a matvec
+    /// per entry on the 100 µm grid).
+    lower_sweep: Option<LevelMajorFactor>,
+    upper_sweep: Option<LevelMajorFactor>,
+    /// Merged sweep phases for the build pool's thread count: each
+    /// entry is a `[start, end)` range of wavefront levels executed
+    /// back-to-back without an intervening barrier (merging verified
+    /// against the factor's dependency structure — see
+    /// [`merge_levels`]).
+    lower_phases: Vec<(u32, u32)>,
+    upper_phases: Vec<(u32, u32)>,
     pool: Arc<KernelPool>,
     /// Barriers for the level sweeps (phases = lower + upper levels).
     sync: SweepSync,
@@ -168,6 +520,10 @@ impl Clone for Ilu0Preconditioner {
             u_col: self.u_col.clone(),
             u_val: self.u_val.clone(),
             schedules: self.schedules.clone(),
+            lower_sweep: self.lower_sweep.clone(),
+            upper_sweep: self.upper_sweep.clone(),
+            lower_phases: self.lower_phases.clone(),
+            upper_phases: self.upper_phases.clone(),
             pool: Arc::clone(&self.pool),
             sync: self.sync.clone(),
             par_gate: Mutex::new(()),
@@ -286,6 +642,39 @@ impl Ilu0Preconditioner {
             .as_ref()
             .map(|s| s.levels.lower_level_count() + s.levels.upper_level_count())
             .unwrap_or(0);
+        let (lower_sweep, upper_sweep) = match &schedules {
+            Some(s) => (
+                Some(LevelMajorFactor::build(
+                    &s.levels.lower,
+                    &l_ptr,
+                    &l_col,
+                    &l_val,
+                    None,
+                )),
+                Some(LevelMajorFactor::build(
+                    &s.levels.upper,
+                    &u_ptr,
+                    &u_col,
+                    &u_val,
+                    Some(&inv_diag),
+                )),
+            ),
+            None => (None, None),
+        };
+        // Merge adjacent wavefront levels into barrier-free phases where
+        // the dependency analysis (for this pool's thread count and the
+        // deterministic contiguous slice partition) allows it.
+        let (lower_phases, upper_phases) = match &schedules {
+            Some(s) if pool.threads() > 1 => (
+                merge_levels(&s.levels.lower, &l_ptr, &l_col, pool.threads()),
+                merge_levels(&s.levels.upper, &u_ptr, &u_col, pool.threads()),
+            ),
+            Some(s) => (
+                trivial_phases(s.levels.lower_level_count()),
+                trivial_phases(s.levels.upper_level_count()),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
         Ok(Self {
             inv_diag,
             l_ptr,
@@ -295,6 +684,10 @@ impl Ilu0Preconditioner {
             u_col,
             u_val,
             schedules,
+            lower_sweep,
+            upper_sweep,
+            lower_phases,
+            upper_phases,
             pool,
             sync: SweepSync::with_phases(phases),
             par_gate: Mutex::new(()),
@@ -304,6 +697,16 @@ impl Ilu0Preconditioner {
     /// Whether `apply` may take the level-parallel path.
     pub fn is_level_scheduled(&self) -> bool {
         self.schedules.is_some()
+    }
+
+    /// The barrier count one parallel apply would have crossed before
+    /// level merging: one per wavefront level (the PR 4 scheme), or 0
+    /// when no schedules were given.
+    pub fn unmerged_barriers_per_apply(&self) -> usize {
+        self.schedules
+            .as_ref()
+            .map(|s| s.levels.lower_level_count() + s.levels.upper_level_count())
+            .unwrap_or(0)
     }
 
     /// One forward-substitution row: `z[i] = r[i] − Σ L[i,j]·z[j]`.
@@ -347,8 +750,35 @@ impl Ilu0Preconditioner {
     }
 
     /// The PR 3 sequential sweeps (also the reference the level-parallel
-    /// path must match bit-for-bit).
+    /// path must match bit-for-bit). With schedules, rows are visited in
+    /// **wavefront level order** even on one thread: natural row order
+    /// chains every row's `z[i]` through `z[i−1]` written nanoseconds
+    /// earlier (a store-to-load latency wall — the sweep measures ~3× a
+    /// matvec per entry), while level order makes every row of a level
+    /// independent, so the loads pipeline. Each row's accumulation is
+    /// unchanged, so the result is bit-identical to the natural-order
+    /// sweep (the same argument as the parallel path, with one
+    /// participant). Without schedules, falls back to the stencil or
+    /// indexed natural-order sweep.
     fn apply_sequential(&self, r: &[f64], z: &mut [f64]) {
+        if let (Some(lower), Some(upper)) = (&self.lower_sweep, &self.upper_sweep) {
+            // One participant, no barriers: positions are already in
+            // level order, so one straight pass over each compaction.
+            let zp = z.as_mut_ptr();
+            // SAFETY: positions cover every row exactly once in level
+            // order; all dependencies are finished on this thread.
+            unsafe {
+                lower.sweep_positions::<false>(0, lower.positions, r, zp);
+                upper.sweep_positions::<true>(0, upper.positions, r, zp);
+            }
+            return;
+        }
+        self.apply_sequential_indexed(r, z);
+    }
+
+    /// The index-loading split-CSR sweeps (the reference the stencil
+    /// sweeps must match bit-for-bit).
+    fn apply_sequential_indexed(&self, r: &[f64], z: &mut [f64]) {
         let n = self.inv_diag.len();
         let zp = z.as_mut_ptr();
         // SAFETY (both sweeps): the compact factor arrays are built in
@@ -367,40 +797,112 @@ impl Ilu0Preconditioner {
     }
 
     /// Level-scheduled sweeps: one pool broadcast covers both triangular
-    /// solves, with a spin barrier per wavefront level. Rows within a
-    /// level are split contiguously across the reported participants;
-    /// the per-row arithmetic is identical to the sequential sweep, so
-    /// the result is bit-identical for every thread count (and for the
-    /// serial fallback the broadcast may take).
-    fn apply_levelled(&self, schedules: &KernelSchedules, r: &[f64], z: &mut [f64]) {
-        let levels = &schedules.levels;
-        let (lc, uc) = (levels.lower_level_count(), levels.upper_level_count());
-        self.sync.reset(lc + uc);
+    /// solves, with a spin barrier per merged **phase** rather than per
+    /// wavefront level. Rows within a level are split contiguously
+    /// across the reported participants; inside a merged phase each
+    /// participant runs its slices of the phase's levels back-to-back,
+    /// which is sound because [`merge_levels`] only merged levels whose
+    /// cross-level dependencies all stay within one participant's
+    /// slices. The trailing barrier is gone too — the broadcast's
+    /// completion join publishes the final phase's writes. The per-row
+    /// arithmetic is identical to the sequential sweep, so the result
+    /// is bit-identical for every thread count (and for the serial
+    /// fallback the broadcast may take).
+    fn apply_levelled(&self, r: &[f64], z: &mut [f64]) {
+        let (lower, upper) = (
+            self.lower_sweep.as_ref().expect("schedules imply sweeps"),
+            self.upper_sweep.as_ref().expect("schedules imply sweeps"),
+        );
+        let barriers = self.lower_phases.len() + self.upper_phases.len() - 1;
+        self.sync.reset(barriers);
         let zp = SharedMut(z.as_mut_ptr());
         self.pool.broadcast(&|me, total| {
             let participants = total as u32;
-            for l in 0..lc {
-                let rows = levels.lower.level(l);
-                let (s, e) = participant_slice(rows.len(), me, total);
-                for &i in &rows[s..e] {
+            let mut phase = 0usize;
+            for &(l0, l1) in &self.lower_phases {
+                for l in l0..l1 {
+                    let (a, b) = lower.level_range(l as usize);
+                    let (s, e) = participant_slice(b - a, me, total);
                     // SAFETY: rows of one level are mutually independent
-                    // (level-set invariant); dependencies finished in
-                    // earlier levels, published by the barrier below.
-                    unsafe { self.forward_row(i as usize, r, zp.ptr()) };
+                    // (level-set invariant); in-phase dependencies are
+                    // intra-participant by the merge analysis, earlier
+                    // ones were published by the barrier below.
+                    unsafe { lower.sweep_positions::<false>(a + s, a + e, r, zp.ptr()) };
                 }
-                self.sync.arrive_and_wait(l, participants);
+                self.sync.arrive_and_wait(phase, participants);
+                phase += 1;
             }
-            for l in 0..uc {
-                let rows = levels.upper.level(l);
-                let (s, e) = participant_slice(rows.len(), me, total);
-                for &i in &rows[s..e] {
+            for (pi, &(l0, l1)) in self.upper_phases.iter().enumerate() {
+                for l in l0..l1 {
+                    let (a, b) = upper.level_range(l as usize);
+                    let (s, e) = participant_slice(b - a, me, total);
                     // SAFETY: as above, for the backward dependency order.
-                    unsafe { self.backward_row(i as usize, zp.ptr()) };
+                    unsafe { upper.sweep_positions::<true>(a + s, a + e, r, zp.ptr()) };
                 }
-                self.sync.arrive_and_wait(lc + l, participants);
+                if pi + 1 < self.upper_phases.len() {
+                    self.sync.arrive_and_wait(phase, participants);
+                    phase += 1;
+                }
             }
         });
+        self.pool.note_barriers(barriers as u64);
     }
+}
+
+/// One phase per level: the plan used when merging cannot engage
+/// (single-threaded pools).
+fn trivial_phases(levels: usize) -> Vec<(u32, u32)> {
+    (0..levels as u32).map(|l| (l, l + 1)).collect()
+}
+
+/// Greedy pairwise merging of adjacent wavefront levels into
+/// barrier-free phases.
+///
+/// Levels `l` and `l+1` may share a phase iff, under the deterministic
+/// contiguous slice partition for `threads` participants, **every**
+/// dependency of a level-`l+1` row on a level-`l` row stays within the
+/// same participant: the owner then runs both slices in level order
+/// with no fence, and no other participant reads those rows before the
+/// phase barrier. Dependencies on earlier levels are published by the
+/// barrier entering the phase, so they never block a merge.
+///
+/// `dep_ptr`/`dep_col` describe each row's triangular dependencies (the
+/// compact strictly-lower factor for the forward sweep, strictly-upper
+/// for the backward one).
+fn merge_levels(
+    set: &crate::schedule::LevelSet,
+    dep_ptr: &[u32],
+    dep_col: &[u32],
+    threads: usize,
+) -> Vec<(u32, u32)> {
+    let count = set.count();
+    let owner = |rows: &[u32], pos: usize| {
+        let per = rows.len().div_ceil(threads);
+        pos / per.max(1)
+    };
+    let mergeable = |l: usize| {
+        let rows_a = set.level(l);
+        let rows_b = set.level(l + 1);
+        rows_b.iter().enumerate().all(|(pos_b, &i)| {
+            let deps = &dep_col[dep_ptr[i as usize] as usize..dep_ptr[i as usize + 1] as usize];
+            deps.iter().all(|j| match rows_a.binary_search(j) {
+                Ok(pos_a) => owner(rows_a, pos_a) == owner(rows_b, pos_b),
+                Err(_) => true, // earlier level: published at phase entry
+            })
+        })
+    };
+    let mut phases = Vec::with_capacity(count);
+    let mut l = 0;
+    while l < count {
+        if l + 1 < count && mergeable(l) {
+            phases.push((l as u32, l as u32 + 2));
+            l += 2;
+        } else {
+            phases.push((l as u32, l as u32 + 1));
+            l += 1;
+        }
+    }
+    phases
 }
 
 impl Preconditioner for Ilu0Preconditioner {
@@ -408,15 +910,13 @@ impl Preconditioner for Ilu0Preconditioner {
         let n = self.inv_diag.len();
         assert_eq!(r.len(), n, "ilu0: r length");
         assert_eq!(z.len(), n, "ilu0: z length");
-        if let Some(schedules) = &self.schedules {
-            if self.pool.threads() > 1 && n >= PAR_MIN_LEN {
-                // The barriers are shared state: only one apply at a time
-                // may run the parallel path; a concurrent caller (same
-                // preconditioner from another thread) goes sequential.
-                if let Ok(_gate) = self.par_gate.try_lock() {
-                    self.apply_levelled(schedules, r, z);
-                    return;
-                }
+        if self.schedules.is_some() && self.pool.threads() > 1 && n >= PAR_MIN_LEN {
+            // The barriers are shared state: only one apply at a time
+            // may run the parallel path; a concurrent caller (same
+            // preconditioner from another thread) goes sequential.
+            if let Ok(_gate) = self.par_gate.try_lock() {
+                self.apply_levelled(r, z);
+                return;
             }
         }
         self.apply_sequential(r, z);
@@ -424,6 +924,14 @@ impl Preconditioner for Ilu0Preconditioner {
 
     fn order(&self) -> usize {
         self.inv_diag.len()
+    }
+
+    fn barriers_per_apply(&self) -> usize {
+        if self.schedules.is_some() && self.pool.threads() > 1 {
+            self.lower_phases.len() + self.upper_phases.len() - 1
+        } else {
+            0
+        }
     }
 }
 
@@ -607,7 +1115,11 @@ impl MulticolorGsPreconditioner {
 
     fn apply_parallel(&self, r: &[f64], z: &mut [f64]) {
         let nc = self.color_count();
-        self.sync.reset(2 * nc);
+        // One barrier per color boundary; the final color's writes are
+        // published by the broadcast's completion join, so the trailing
+        // barrier is gone.
+        let barriers = 2 * nc - 1;
+        self.sync.reset(barriers);
         let zp = SharedMut(z.as_mut_ptr());
         self.pool.broadcast(&|me, total| {
             let participants = total as u32;
@@ -629,9 +1141,12 @@ impl MulticolorGsPreconditioner {
                     // SAFETY: as above, in descending color order.
                     unsafe { self.update_position(q, r, zp.ptr()) };
                 }
-                self.sync.arrive_and_wait(nc + (nc - 1 - c), participants);
+                if c > 0 {
+                    self.sync.arrive_and_wait(nc + (nc - 1 - c), participants);
+                }
             }
         });
+        self.pool.note_barriers(barriers as u64);
     }
 }
 
@@ -653,6 +1168,14 @@ impl Preconditioner for MulticolorGsPreconditioner {
 
     fn order(&self) -> usize {
         self.n
+    }
+
+    fn barriers_per_apply(&self) -> usize {
+        if self.pool.threads() > 1 {
+            2 * self.color_count() - 1
+        } else {
+            0
+        }
     }
 }
 
@@ -861,6 +1384,159 @@ mod tests {
         assert!(err < 0.5 * scale, "err {err} vs scale {scale}");
     }
 
+    /// Structured 2-D grid (5-point stencil) — regular enough for the
+    /// stencil decomposition and with real wavefront level structure.
+    fn grid_dd(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CsrBuilder::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                b.add(i, i, 5.0 + rng.random_range(0.0..1.0));
+                if c > 0 {
+                    b.add(i, i - 1, rng.random_range(-1.0..-0.2));
+                }
+                if c + 1 < cols {
+                    b.add(i, i + 1, rng.random_range(-1.0..-0.2));
+                }
+                if r > 0 {
+                    b.add(i, i - cols, rng.random_range(-1.0..-0.2));
+                }
+                if r + 1 < rows {
+                    b.add(i, i + cols, rng.random_range(-1.0..-0.2));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn level_merging_strictly_reduces_the_barrier_count() {
+        // The acceptance gate: a parallel apply must cross strictly
+        // fewer barriers than the one-per-level PR 4 scheme (the
+        // trailing barrier always merges into the broadcast join, and
+        // dependency analysis may merge more).
+        let a = grid_dd(24, 24, 3);
+        let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+        for threads in [2usize, 4] {
+            let m = Ilu0Preconditioner::new_on(
+                &a,
+                KernelPool::new(threads),
+                Some(Arc::clone(&schedules)),
+            )
+            .unwrap();
+            let unmerged = m.unmerged_barriers_per_apply();
+            let merged = m.barriers_per_apply();
+            assert!(unmerged > 0);
+            assert!(
+                merged < unmerged,
+                "threads {threads}: {merged} vs {unmerged}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_merge_fires_when_dependencies_stay_slice_local() {
+        // A two-level "forest": rows 0..m are independent (level 0) and
+        // row m+i depends only on row i (level 1). Under the contiguous
+        // slice partition, position i of level 1 depends on position i
+        // of level 0 — always the same owner — so the pairwise analysis
+        // must merge the two lower levels into one phase. This tests
+        // the dependency analysis itself, not the (unconditional)
+        // trailing-barrier fold.
+        let m = 40;
+        let mut b = CsrBuilder::new(2 * m);
+        for i in 0..2 * m {
+            b.add(i, i, 4.0);
+        }
+        for i in 0..m {
+            b.add(m + i, i, -1.0);
+        }
+        let a = b.build();
+        let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+        assert_eq!(schedules.levels.lower_level_count(), 2);
+        let ilu = Ilu0Preconditioner::new_on(&a, KernelPool::new(2), Some(Arc::clone(&schedules)))
+            .unwrap();
+        assert_eq!(ilu.lower_phases, vec![(0, 2)], "pair must merge");
+        // lower merged (1 phase) + upper (1 level, 1 phase) − trailing
+        // fold = 1 barrier per apply.
+        assert_eq!(ilu.barriers_per_apply(), 1);
+        assert_eq!(ilu.unmerged_barriers_per_apply(), 3);
+
+        // Negative control: reverse the coupling so row m+i depends on
+        // row m−1−i — position i of level 1 now needs position m−1−i of
+        // level 0, which crosses the slice boundary for most i, so the
+        // merge must be refused.
+        let mut b = CsrBuilder::new(2 * m);
+        for i in 0..2 * m {
+            b.add(i, i, 4.0);
+        }
+        for i in 0..m {
+            b.add(m + i, m - 1 - i, -1.0);
+        }
+        let a = b.build();
+        let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+        let ilu = Ilu0Preconditioner::new_on(&a, KernelPool::new(2), Some(Arc::clone(&schedules)))
+            .unwrap();
+        assert_eq!(
+            ilu.lower_phases,
+            vec![(0, 1), (1, 2)],
+            "cross-slice dependencies must block the merge"
+        );
+    }
+
+    #[test]
+    fn merged_parallel_sweeps_stay_bit_identical() {
+        // Whatever the merge plan did, the iterates must not move by a
+        // single bit relative to the sequential sweep.
+        let a = grid_dd(30, 17, 11);
+        let n = a.order();
+        let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+        let sequential = Ilu0Preconditioner::new_on(&a, KernelPool::new(1), None).unwrap();
+        let r: Vec<f64> = (0..n).map(|i| ((i * 37 % 23) as f64) - 11.0).collect();
+        let mut z_ref = vec![0.0; n];
+        sequential.apply(&r, &mut z_ref);
+        for threads in [2usize, 3, 4] {
+            let m = Ilu0Preconditioner::new_on(
+                &a,
+                KernelPool::new(threads),
+                Some(Arc::clone(&schedules)),
+            )
+            .unwrap();
+            let mut z = vec![f64::NAN; n];
+            m.apply_levelled(&r, &mut z);
+            assert!(
+                z.iter()
+                    .zip(&z_ref)
+                    .all(|(g, w)| g.to_bits() == w.to_bits()),
+                "threads {threads}: merged sweep diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn stencil_sequential_sweeps_match_indexed_sweeps_bitwise() {
+        let a = grid_dd(25, 19, 7);
+        let n = a.order();
+        let schedules = Arc::new(KernelSchedules::for_matrix(&a));
+        assert!(
+            schedules.stencil().is_some(),
+            "grid pattern must decompose into a stencil"
+        );
+        let with = Ilu0Preconditioner::new_on(&a, KernelPool::new(1), Some(Arc::clone(&schedules)))
+            .unwrap();
+        let without = Ilu0Preconditioner::new_on(&a, KernelPool::new(1), None).unwrap();
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin() * 4.0).collect();
+        let mut z_stencil = vec![0.0; n];
+        with.apply(&r, &mut z_stencil); // 1-thread pool: sequential, stencil path
+        let mut z_indexed = vec![0.0; n];
+        without.apply_sequential_indexed(&r, &mut z_indexed);
+        assert!(z_stencil
+            .iter()
+            .zip(&z_indexed)
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+    }
+
     #[test]
     #[should_panic(expected = "different sparsity pattern")]
     fn ilu0_rejects_foreign_schedules() {
@@ -922,7 +1598,7 @@ mod tests {
                 let mut z = vec![1.0; n]; // garbage start: apply must overwrite
                 // Exercise the levelled path directly (the `apply` size
                 // threshold would route these small systems serially).
-                m.apply_levelled(&schedules, &r, &mut z);
+                m.apply_levelled(&r, &mut z);
                 for (got, want) in z.iter().zip(&z_ref) {
                     prop_assert_eq!(
                         got.to_bits(), want.to_bits(),

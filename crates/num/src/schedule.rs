@@ -236,21 +236,32 @@ pub struct KernelSchedules {
     pub levels: TriangularLevels,
     /// Multicoloring of the symmetrized adjacency.
     pub colors: ColorSchedule,
+    /// The run/class decomposition of the pattern for the index-free
+    /// stencil backend (`None` on patterns too irregular to pay off).
+    stencil: Option<std::sync::Arc<crate::StencilPattern>>,
     /// The source pattern (shared index arrays, not a copy).
     row_ptr: std::sync::Arc<[u32]>,
     col_idx: std::sync::Arc<[u32]>,
 }
 
 impl KernelSchedules {
-    /// Computes both schedules for `a`'s pattern.
+    /// Computes the schedules (level sets, coloring, stencil
+    /// decomposition) for `a`'s pattern.
     pub fn for_matrix(a: &CsrMatrix) -> Self {
         let (row_ptr, col_idx) = a.pattern_arcs();
         Self {
             levels: TriangularLevels::for_matrix(a),
             colors: ColorSchedule::for_matrix(a),
+            stencil: crate::StencilPattern::for_matrix(a).map(std::sync::Arc::new),
             row_ptr,
             col_idx,
         }
+    }
+
+    /// The pattern's stencil decomposition, when the structure is
+    /// regular enough for the index-free backend to pay off.
+    pub fn stencil(&self) -> Option<&std::sync::Arc<crate::StencilPattern>> {
+        self.stencil.as_ref()
     }
 
     /// Whether these schedules were computed for `a`'s sparsity pattern.

@@ -93,7 +93,7 @@ impl CsrBuilder {
             n: self.n,
             row_ptr: row_ptr.into(),
             col_idx: col_idx.into(),
-            values,
+            values: Arc::new(values),
         }
     }
 }
@@ -105,12 +105,19 @@ impl CsrBuilder {
 /// values — a family of same-pattern matrices (e.g. one thermal network
 /// per pump setting) holds a single copy of the index arrays. Use
 /// [`shares_structure`](Self::shares_structure) to assert the sharing.
+///
+/// The value array is reference-counted too, with **copy-on-write**
+/// semantics: a clone shares the values until the first
+/// [`values_mut`](Self::values_mut) call, so matrices that are never
+/// patched (an air-cooled model and its skeleton base, for example)
+/// keep a single copy of everything. Use
+/// [`shares_values`](Self::shares_values) to assert the sharing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     n: usize,
     row_ptr: Arc<[u32]>,
     col_idx: Arc<[u32]>,
-    values: Vec<f64>,
+    values: Arc<Vec<f64>>,
 }
 
 impl CsrMatrix {
@@ -143,14 +150,38 @@ impl CsrMatrix {
     /// Mutable access to the stored values; the sparsity pattern is
     /// immutable, so callers can only overwrite entries in place (how
     /// flow patches update cavity conductances without reassembly).
+    /// Copy-on-write: if the values are currently shared with another
+    /// matrix, this call unshares them first.
     pub fn values_mut(&mut self) -> &mut [f64] {
-        &mut self.values
+        Arc::make_mut(&mut self.values).as_mut_slice()
     }
 
     /// Whether `self` and `other` share the same reference-counted index
     /// arrays (not merely equal ones).
     pub fn shares_structure(&self, other: &CsrMatrix) -> bool {
         Arc::ptr_eq(&self.row_ptr, &other.row_ptr) && Arc::ptr_eq(&self.col_idx, &other.col_idx)
+    }
+
+    /// Whether `self` and `other` currently share one reference-counted
+    /// value array (copy-on-write: any [`values_mut`](Self::values_mut)
+    /// call on either side unshares them).
+    pub fn shares_values(&self, other: &CsrMatrix) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+
+    /// Re-points this matrix's value array at `src`'s (no copy): the
+    /// cheap prologue of a flow re-patch, which then copy-on-writes only
+    /// once while stamping the flow-dependent slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both matrices share the same index structure.
+    pub fn share_values_from(&mut self, src: &CsrMatrix) {
+        assert!(
+            self.shares_structure(src),
+            "share_values_from: structure mismatch"
+        );
+        self.values = Arc::clone(&src.values);
     }
 
     /// Clones the reference-counted index arrays (no data copy); used by

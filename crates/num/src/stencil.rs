@@ -1,0 +1,778 @@
+//! Index-free structured-stencil operator backend.
+//!
+//! The thermal RC networks live on a regular 3D stacked grid, so almost
+//! every matrix row has the same *shape* as its neighbours: the column
+//! offsets `col − row` of a tier-interior cell are identical for the
+//! whole grid row, a fluid cell couples its tiers at constant offsets,
+//! and so on. CSR re-reads a 4-byte column index per entry anyway —
+//! one third of the kernel's memory traffic spent rediscovering a
+//! structure that never changes.
+//!
+//! [`StencilPattern`] factors that structure out once per sparsity
+//! pattern: maximal **runs** of consecutive rows sharing one offset
+//! **class** (the sorted `col − row` list). The kernels then walk
+//! `(run, row)` pairs with the per-class offsets held in registers — no
+//! per-entry index loads, fully unrolled bodies for the common small
+//! entry counts — while enumerating entries in the exact CSR column
+//! order with the CSR kernels' accumulation pattern, so every result is
+//! **bit-identical** to the CSR backend at every thread count (rows are
+//! distributed in the same fixed chunks as the CSR kernels).
+//!
+//! (`Ilu0Preconditioner` applies the same run idea to its triangular
+//! factors, in wavefront-level order — see `vfc_num::precond`.)
+//!
+//! Patterns too irregular to pay off (mean run length below
+//! [`MIN_MEAN_RUN`]) are rejected at construction; callers fall back to
+//! CSR — backend choice never changes results, only wall-clock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::operator::{run_rows_on, LinearOperator, RowMode};
+use crate::pool::SharedMut;
+use crate::{CsrMatrix, KernelPool};
+
+/// Minimum mean rows-per-run for a pattern to be considered profitable;
+/// below this the run bookkeeping costs more than the index loads it
+/// saves, and [`StencilPattern::for_matrix`] returns `None`.
+pub const MIN_MEAN_RUN: usize = 4;
+
+/// Largest per-row entry count with a fully unrolled kernel; longer
+/// rows use the generic loop.
+const MAX_UNROLL: usize = 16;
+
+/// A maximal block of consecutive rows sharing one offset class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    row0: u32,
+    row1: u32,
+    /// Index of row `row0`'s first entry in the (CSR-ordered) value
+    /// array this run reads; row `i` starts at `val0 + (i − row0)·k`.
+    val0: u32,
+    class: u32,
+}
+
+/// Offset classes: class `c` owns `off[ptr[c]..ptr[c+1]]`, sorted
+/// ascending (CSR column order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct ClassTable {
+    ptr: Vec<u32>,
+    off: Vec<i32>,
+    /// Position of offset 0 (the diagonal) within each class, or
+    /// `u32::MAX` when the class has no diagonal entry.
+    diag: Vec<u32>,
+}
+
+impl ClassTable {
+    fn intern(&mut self, map: &mut HashMap<Vec<i32>, u32>, sig: &[i32]) -> u32 {
+        if let Some(&c) = map.get(sig) {
+            return c;
+        }
+        let c = self.diag.len() as u32;
+        self.off.extend_from_slice(sig);
+        self.ptr.push(self.off.len() as u32);
+        self.diag.push(
+            sig.iter()
+                .position(|&o| o == 0)
+                .map_or(u32::MAX, |p| p as u32),
+        );
+        map.insert(sig.to_vec(), c);
+        c
+    }
+
+    #[inline]
+    fn offsets(&self, c: u32) -> &[i32] {
+        &self.off[self.ptr[c as usize] as usize..self.ptr[c as usize + 1] as usize]
+    }
+
+    fn new() -> Self {
+        Self {
+            ptr: vec![0],
+            off: Vec::new(),
+            diag: Vec::new(),
+        }
+    }
+}
+
+/// The run/class decomposition of one sparsity pattern.
+///
+/// Built once per pattern (the thermal skeleton computes it alongside
+/// the CSR pattern and shares it through
+/// [`KernelSchedules`](crate::KernelSchedules)); value arrays stay in
+/// CSR order, so one pattern serves every same-pattern matrix — all
+/// pump settings and every backward-Euler operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilPattern {
+    n: usize,
+    nnz: usize,
+    runs: Vec<Run>,
+    classes: ClassTable,
+    /// Whether every row has a diagonal entry (required by the
+    /// diagonally shifted views).
+    full_diag: bool,
+    /// The source pattern (shared index arrays, not a copy) for
+    /// [`matches_pattern`](Self::matches_pattern).
+    row_ptr: Arc<[u32]>,
+    col_idx: Arc<[u32]>,
+}
+
+impl StencilPattern {
+    /// Decomposes `a`'s pattern into runs and classes, or `None` when
+    /// the pattern is too irregular to profit (see [`MIN_MEAN_RUN`]) or
+    /// an offset exceeds the `i32` range.
+    pub fn for_matrix(a: &CsrMatrix) -> Option<Self> {
+        let n = a.order();
+        let rp = a.row_ptr();
+        let cols = a.col_indices();
+
+        let mut classes = ClassTable::new();
+        let mut class_map = HashMap::new();
+        let mut runs: Vec<Run> = Vec::new();
+
+        let mut sig = Vec::new();
+        let mut full_diag = true;
+        for i in 0..n {
+            sig.clear();
+            for k in rp[i] as usize..rp[i + 1] as usize {
+                let off = cols[k] as i64 - i as i64;
+                if off < i32::MIN as i64 || off > i32::MAX as i64 {
+                    return None;
+                }
+                sig.push(off as i32);
+            }
+            if !sig.contains(&0) {
+                full_diag = false;
+            }
+            let c = classes.intern(&mut class_map, &sig);
+            extend_runs(&mut runs, i, rp[i], c);
+        }
+
+        if runs.is_empty() || n / runs.len() < MIN_MEAN_RUN {
+            return None;
+        }
+        let (row_ptr, col_idx) = a.pattern_arcs();
+        Some(Self {
+            n,
+            nnz: cols.len(),
+            runs,
+            classes,
+            full_diag,
+            row_ptr,
+            col_idx,
+        })
+    }
+
+    /// Pattern order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries of the source pattern.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of row runs (smaller is better; `order / run_count` is
+    /// the mean run length).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of distinct offset classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.diag.len()
+    }
+
+    /// Whether every row carries a diagonal entry (required for the
+    /// diagonally shifted backward-Euler views).
+    pub fn has_full_diagonal(&self) -> bool {
+        self.full_diag
+    }
+
+    /// Whether this pattern was computed for `a`'s sparsity pattern
+    /// (pointer-equality fast path, content fallback — the same
+    /// contract as [`KernelSchedules`](crate::KernelSchedules)).
+    pub fn matches_pattern(&self, a: &CsrMatrix) -> bool {
+        let (rp, ci) = a.pattern_arcs();
+        (Arc::ptr_eq(&self.row_ptr, &rp) && Arc::ptr_eq(&self.col_idx, &ci))
+            || (self.row_ptr == rp && self.col_idx == ci)
+    }
+
+    /// Runs a fused row kernel over the pool (same chunking as the CSR
+    /// kernels).
+    fn run_fused(
+        &self,
+        pool: &KernelPool,
+        values: &[f64],
+        shift: Option<&[f64]>,
+        x: &[f64],
+        mode: RowMode<'_>,
+    ) {
+        assert_eq!(values.len(), self.nnz, "stencil: values length");
+        assert_eq!(x.len(), self.n, "stencil: x length");
+        run_rows_on(pool, self.n, &|r0, r1| {
+            // SAFETY: chunks cover disjoint row ranges; every offset was
+            // derived from an in-range CSR column at construction, and
+            // value cursors mirror the CSR row pointer.
+            unsafe { self.rows(values, shift, x, mode, r0, r1) };
+        });
+    }
+
+    /// Fused kernel over rows `r0..r1`.
+    ///
+    /// # Safety
+    ///
+    /// `values` must hold `nnz` entries in CSR order for this pattern,
+    /// `x` must hold `n` entries, and the mode's outputs must cover `n`
+    /// elements with `[r0, r1)` not concurrently written elsewhere.
+    unsafe fn rows(
+        &self,
+        values: &[f64],
+        shift: Option<&[f64]>,
+        x: &[f64],
+        mode: RowMode<'_>,
+        r0: usize,
+        r1: usize,
+    ) {
+        let mut ri = self.runs.partition_point(|r| (r.row1 as usize) <= r0);
+        while ri < self.runs.len() {
+            let run = self.runs[ri];
+            let a = (run.row0 as usize).max(r0);
+            let b = (run.row1 as usize).min(r1);
+            if a >= r1 {
+                break;
+            }
+            let off = self.classes.offsets(run.class);
+            let dp = self.classes.diag[run.class as usize] as usize;
+            let val0 = run.val0 as usize + (a - run.row0 as usize) * off.len();
+            // SAFETY: forwarded from the caller; per-run cursors stay
+            // inside `values` by construction.
+            unsafe { dispatch_fused(off, dp, values, val0, shift, x, mode, a, b) };
+            ri += 1;
+        }
+    }
+}
+
+/// Extends the last run or opens a new one for row `i` of class `c`
+/// whose first value-cursor is `val`.
+fn extend_runs(runs: &mut Vec<Run>, i: usize, val: u32, c: u32) {
+    if let Some(last) = runs.last_mut() {
+        if last.class == c && last.row1 as usize == i {
+            last.row1 = i as u32 + 1;
+            return;
+        }
+    }
+    runs.push(Run {
+        row0: i as u32,
+        row1: i as u32 + 1,
+        val0: val,
+        class: c,
+    });
+}
+
+/// One stencil row's entry sum — the canonical CSR accumulation order
+/// (even positions into `acc0`, odd into `acc1`, odd tail into `acc0`)
+/// with the column addresses computed from per-class offsets instead of
+/// loaded per entry.
+///
+/// # Safety
+///
+/// `vb + off.len()` must be within `vals`; `i + off[p]` within `x`.
+#[inline(always)]
+unsafe fn stencil_row_sum<const SHIFT: bool>(
+    off: &[i32],
+    dp: usize,
+    vals: &[f64],
+    vb: usize,
+    x: *const f64,
+    i: usize,
+    s: f64,
+) -> f64 {
+    unsafe {
+        let k = off.len();
+        let (mut acc0, mut acc1) = (0.0f64, 0.0f64);
+        let mut p = 0usize;
+        while p + 1 < k {
+            let mut v0 = *vals.get_unchecked(vb + p);
+            if SHIFT && p == dp {
+                v0 += s;
+            }
+            let mut v1 = *vals.get_unchecked(vb + p + 1);
+            if SHIFT && p + 1 == dp {
+                v1 += s;
+            }
+            acc0 += v0 * *x.offset(i as isize + *off.get_unchecked(p) as isize);
+            acc1 += v1 * *x.offset(i as isize + *off.get_unchecked(p + 1) as isize);
+            p += 2;
+        }
+        if p < k {
+            let mut v = *vals.get_unchecked(vb + p);
+            if SHIFT && p == dp {
+                v += s;
+            }
+            acc0 += v * *x.offset(i as isize + *off.get_unchecked(p) as isize);
+        }
+        acc0 + acc1
+    }
+}
+
+/// The fused row loop for one run segment at a *const* entry count —
+/// the offsets live in a fixed-size local so the compiler keeps them in
+/// registers and fully unrolls the row body.
+///
+/// # Safety
+///
+/// As [`stencil_row_sum`], plus the mode's outputs as in
+/// [`StencilPattern::rows`].
+unsafe fn fused_rows_k<const K: usize, const SHIFT: bool>(
+    off: &[i32],
+    dp: usize,
+    vals: &[f64],
+    mut vb: usize,
+    shift: &[f64],
+    x: &[f64],
+    mode: RowMode<'_>,
+    a: usize,
+    b: usize,
+) {
+    let mut o = [0i32; K];
+    o.copy_from_slice(&off[..K]);
+    let xp = x.as_ptr();
+    for i in a..b {
+        // SAFETY: forwarded from the caller.
+        unsafe {
+            let s = if SHIFT { *shift.get_unchecked(i) } else { 0.0 };
+            let sum = stencil_row_sum::<SHIFT>(&o, dp, vals, vb, xp, i, s);
+            mode.finish(i, x, sum);
+        }
+        vb += K;
+    }
+}
+
+/// Runtime-`k` fallback of [`fused_rows_k`].
+///
+/// # Safety
+///
+/// As [`fused_rows_k`].
+unsafe fn fused_rows_generic<const SHIFT: bool>(
+    off: &[i32],
+    dp: usize,
+    vals: &[f64],
+    mut vb: usize,
+    shift: &[f64],
+    x: &[f64],
+    mode: RowMode<'_>,
+    a: usize,
+    b: usize,
+) {
+    let k = off.len();
+    let xp = x.as_ptr();
+    for i in a..b {
+        // SAFETY: forwarded from the caller.
+        unsafe {
+            let s = if SHIFT { *shift.get_unchecked(i) } else { 0.0 };
+            let sum = stencil_row_sum::<SHIFT>(off, dp, vals, vb, xp, i, s);
+            mode.finish(i, x, sum);
+        }
+        vb += k;
+    }
+}
+
+/// Dispatches a run segment to the unrolled kernel for its entry count.
+///
+/// # Safety
+///
+/// As [`fused_rows_k`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn dispatch_fused(
+    off: &[i32],
+    dp: usize,
+    vals: &[f64],
+    vb: usize,
+    shift: Option<&[f64]>,
+    x: &[f64],
+    mode: RowMode<'_>,
+    a: usize,
+    b: usize,
+) {
+    // SAFETY (both arms): forwarded from the caller.
+    match shift {
+        Some(s) => unsafe { dispatch_inner::<true>(off, dp, vals, vb, s, x, mode, a, b) },
+        None => unsafe { dispatch_inner::<false>(off, dp, vals, vb, &[], x, mode, a, b) },
+    }
+}
+
+/// Entry-count dispatch at a fixed shift mode.
+///
+/// # Safety
+///
+/// As [`fused_rows_k`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn dispatch_inner<const SHIFT: bool>(
+    off: &[i32],
+    dp: usize,
+    vals: &[f64],
+    vb: usize,
+    shift: &[f64],
+    x: &[f64],
+    mode: RowMode<'_>,
+    a: usize,
+    b: usize,
+) {
+    macro_rules! k_arm {
+        ($K:literal) => {
+            // SAFETY: forwarded from the caller.
+            unsafe { fused_rows_k::<$K, SHIFT>(off, dp, vals, vb, shift, x, mode, a, b) }
+        };
+    }
+    debug_assert!(MAX_UNROLL == 16, "dispatch arms must cover MAX_UNROLL");
+    match off.len() {
+        1 => k_arm!(1),
+        2 => k_arm!(2),
+        3 => k_arm!(3),
+        4 => k_arm!(4),
+        5 => k_arm!(5),
+        6 => k_arm!(6),
+        7 => k_arm!(7),
+        8 => k_arm!(8),
+        9 => k_arm!(9),
+        10 => k_arm!(10),
+        11 => k_arm!(11),
+        12 => k_arm!(12),
+        13 => k_arm!(13),
+        14 => k_arm!(14),
+        15 => k_arm!(15),
+        16 => k_arm!(16),
+        // SAFETY: forwarded from the caller.
+        _ => unsafe { fused_rows_generic::<SHIFT>(off, dp, vals, vb, shift, x, mode, a, b) },
+    }
+}
+
+/// A stencil-backed [`LinearOperator`] view: one shared
+/// [`StencilPattern`] plus a borrowed CSR-ordered value array, with an
+/// optional on-the-fly diagonal shift (the backward-Euler `C/h + G`
+/// without a second value array).
+#[derive(Debug, Clone, Copy)]
+pub struct StencilOp<'a> {
+    pattern: &'a StencilPattern,
+    values: &'a [f64],
+    shift: Option<&'a [f64]>,
+}
+
+impl<'a> StencilOp<'a> {
+    /// A plain view over `pattern` with `values` in CSR entry order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not hold exactly `pattern.nnz()` entries.
+    pub fn new(pattern: &'a StencilPattern, values: &'a [f64]) -> Self {
+        assert_eq!(values.len(), pattern.nnz(), "stencil-op: values length");
+        Self {
+            pattern,
+            values,
+            shift: None,
+        }
+    }
+
+    /// A view of `A + diag(shift)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or when the pattern lacks a diagonal
+    /// entry in some row (the shift would be silently dropped there).
+    pub fn with_shift(pattern: &'a StencilPattern, values: &'a [f64], shift: &'a [f64]) -> Self {
+        assert_eq!(values.len(), pattern.nnz(), "stencil-op: values length");
+        assert_eq!(shift.len(), pattern.order(), "stencil-op: shift length");
+        assert!(
+            pattern.has_full_diagonal(),
+            "stencil-op: shift requires a diagonal entry in every row"
+        );
+        Self {
+            pattern,
+            values,
+            shift: Some(shift),
+        }
+    }
+}
+
+impl LinearOperator for StencilOp<'_> {
+    fn order(&self) -> usize {
+        self.pattern.n
+    }
+
+    fn matvec_into_on(&self, pool: &KernelPool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(y.len(), self.pattern.n, "stencil-op: y length");
+        self.pattern.run_fused(
+            pool,
+            self.values,
+            self.shift,
+            x,
+            RowMode::Mv {
+                y: SharedMut(y.as_mut_ptr()),
+            },
+        );
+    }
+
+    fn residual_into_on(&self, pool: &KernelPool, b: &[f64], x: &[f64], r: &mut [f64]) {
+        assert_eq!(b.len(), self.pattern.n, "stencil-op: b length");
+        assert_eq!(r.len(), self.pattern.n, "stencil-op: r length");
+        self.pattern.run_fused(
+            pool,
+            self.values,
+            self.shift,
+            x,
+            RowMode::Res {
+                b,
+                r: SharedMut(r.as_mut_ptr()),
+            },
+        );
+    }
+
+    fn be_prologue_on(
+        &self,
+        pool: &KernelPool,
+        c: &[f64],
+        base: &[f64],
+        x: &[f64],
+        rhs: &mut [f64],
+        r: &mut [f64],
+    ) {
+        let n = self.pattern.n;
+        assert_eq!(c.len(), n, "stencil-op: c length");
+        assert_eq!(base.len(), n, "stencil-op: base length");
+        assert_eq!(rhs.len(), n, "stencil-op: rhs length");
+        assert_eq!(r.len(), n, "stencil-op: r length");
+        self.pattern.run_fused(
+            pool,
+            self.values,
+            self.shift,
+            x,
+            RowMode::Be {
+                c,
+                base,
+                rhs: SharedMut(rhs.as_mut_ptr()),
+                r: SharedMut(r.as_mut_ptr()),
+            },
+        );
+    }
+
+    fn diagonal_into(&self, d: &mut [f64]) {
+        assert_eq!(d.len(), self.pattern.n, "stencil-op: d length");
+        for run in &self.pattern.runs {
+            let k = self.pattern.classes.offsets(run.class).len();
+            let dp = self.pattern.classes.diag[run.class as usize];
+            for i in run.row0 as usize..run.row1 as usize {
+                d[i] = if dp == u32::MAX {
+                    0.0
+                } else {
+                    let vb = run.val0 as usize + (i - run.row0 as usize) * k;
+                    self.values[vb + dp as usize]
+                };
+                if let Some(s) = self.shift {
+                    d[i] += s[i];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CsrBuilder, CsrOp};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A structured 2-D grid matrix (5-point stencil plus an optional
+    /// far coupling) — the shape the thermal networks take.
+    fn grid_matrix(rows: usize, cols: usize, seed: u64, far: bool) -> CsrMatrix {
+        let n = rows * cols;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CsrBuilder::new(n);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                b.add(i, i, 4.0 + rng.random_range(0.0..1.0));
+                if c > 0 {
+                    b.add(i, i - 1, rng.random_range(-1.0..-0.1));
+                }
+                if c + 1 < cols {
+                    b.add(i, i + 1, rng.random_range(-1.0..-0.1));
+                }
+                if r > 0 {
+                    b.add(i, i - cols, rng.random_range(-1.0..-0.1));
+                }
+                if r + 1 < rows {
+                    b.add(i, i + cols, rng.random_range(-1.0..-0.1));
+                }
+                if far && r + 2 < rows {
+                    b.add(i, i + 2 * cols, rng.random_range(-0.2..0.2));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn grid_pattern_decomposes_into_long_runs() {
+        let a = grid_matrix(20, 30, 1, false);
+        let p = StencilPattern::for_matrix(&a).expect("grid patterns are regular");
+        assert_eq!(p.order(), 600);
+        assert_eq!(p.nnz(), a.nnz());
+        assert!(p.has_full_diagonal());
+        // Interior rows of one grid row share a class: runs are long.
+        assert!(
+            p.order() / p.run_count() >= MIN_MEAN_RUN,
+            "runs: {}",
+            p.run_count()
+        );
+        // 9 geometric classes (interior/edges/corners) for a 5-point
+        // stencil.
+        assert_eq!(p.class_count(), 9);
+        assert!(p.matches_pattern(&a));
+        assert!(!p.matches_pattern(&grid_matrix(10, 10, 1, false)));
+    }
+
+    #[test]
+    fn irregular_patterns_are_rejected() {
+        // A random pattern has ~no repeated row shapes.
+        let n = 200;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 3.0);
+            for _ in 0..3 {
+                b.add(i, rng.random_range(0..n), 0.1);
+            }
+        }
+        assert!(StencilPattern::for_matrix(&b.build()).is_none());
+    }
+
+    #[test]
+    fn matvec_residual_and_prologue_match_csr_bitwise() {
+        let a = grid_matrix(17, 23, 5, true);
+        let n = a.order();
+        let p = StencilPattern::for_matrix(&a).expect("regular");
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin() * 2.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos() - 0.3).collect();
+        let pool = KernelPool::new(1);
+        let op = StencilOp::new(&p, a.values());
+
+        let mut y_ref = vec![0.0; n];
+        a.matvec_into(&x, &mut y_ref);
+        let mut y = vec![f64::NAN; n];
+        op.matvec_into_on(&pool, &x, &mut y);
+        assert!(y
+            .iter()
+            .zip(&y_ref)
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+
+        let mut r_ref = vec![0.0; n];
+        LinearOperator::residual_into_on(&a, &pool, &b, &x, &mut r_ref);
+        let mut r = vec![f64::NAN; n];
+        op.residual_into_on(&pool, &b, &x, &mut r);
+        assert!(r
+            .iter()
+            .zip(&r_ref)
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+
+        // Shifted prologue vs the CSR shifted view.
+        let di: Vec<u32> = (0..n)
+            .map(|i| a.pattern_index(i, i).unwrap() as u32)
+            .collect();
+        let c: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let csr_op = CsrOp::with_shift(&a, &c, &di);
+        let st_op = StencilOp::with_shift(&p, a.values(), &c);
+        let (mut rhs1, mut r1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut rhs2, mut r2) = (vec![0.0; n], vec![0.0; n]);
+        csr_op.be_prologue_on(&pool, &c, &base, &x, &mut rhs1, &mut r1);
+        st_op.be_prologue_on(&pool, &c, &base, &x, &mut rhs2, &mut r2);
+        assert!(rhs1
+            .iter()
+            .zip(&rhs2)
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+        assert!(r1.iter().zip(&r2).all(|(g, w)| g.to_bits() == w.to_bits()));
+
+        let mut d1 = vec![0.0; n];
+        let mut d2 = vec![0.0; n];
+        csr_op.diagonal_into(&mut d1);
+        st_op.diagonal_into(&mut d2);
+        assert!(d1.iter().zip(&d2).all(|(g, w)| g.to_bits() == w.to_bits()));
+    }
+
+    #[test]
+    fn pooled_stencil_matvec_is_bit_identical_across_thread_counts() {
+        let rows = 40;
+        let cols = (crate::pool::PAR_MIN_LEN / rows) + 3;
+        let a = grid_matrix(rows, cols, 11, true);
+        let n = a.order();
+        assert!(n >= crate::pool::PAR_MIN_LEN);
+        let p = StencilPattern::for_matrix(&a).expect("regular");
+        let op = StencilOp::new(&p, a.values());
+        let x: Vec<f64> = (0..n).map(|i| ((i * 29 % 97) as f64) / 9.0 - 5.0).collect();
+        let mut y_ref = vec![0.0; n];
+        op.matvec_into_on(&KernelPool::new(1), &x, &mut y_ref);
+        // The CSR reference on the same system.
+        let mut y_csr = vec![0.0; n];
+        a.matvec_into(&x, &mut y_csr);
+        assert!(y_ref
+            .iter()
+            .zip(&y_csr)
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+        for threads in [2usize, 4] {
+            let pool = KernelPool::new(threads);
+            let mut y = vec![f64::NAN; n];
+            op.matvec_into_on(&pool, &x, &mut y);
+            assert!(
+                y.iter()
+                    .zip(&y_ref)
+                    .all(|(g, w)| g.to_bits() == w.to_bits()),
+                "threads {threads}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Parity gate: on random structured grids, every stencil kernel
+        /// is bit-identical to the CSR backend.
+        #[test]
+        fn stencil_kernels_match_csr_bitwise(
+            seed in 0u64..200,
+            rows in 3usize..14,
+            cols in 8usize..20,
+            far in 0u8..2,
+        ) {
+            let a = grid_matrix(rows, cols, seed, far == 1);
+            let n = a.order();
+            let Some(p) = StencilPattern::for_matrix(&a) else {
+                // Tiny grids can fall below the profitability guard.
+                return Ok(());
+            };
+            let op = StencilOp::new(&p, a.values());
+            let pool = KernelPool::new(1);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let x: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+
+            let mut y_ref = vec![0.0; n];
+            a.matvec_into(&x, &mut y_ref);
+            let mut y = vec![f64::NAN; n];
+            op.matvec_into_on(&pool, &x, &mut y);
+            for (g, w) in y.iter().zip(&y_ref) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+
+            let mut r_ref = vec![0.0; n];
+            LinearOperator::residual_into_on(&a, &pool, &b, &x, &mut r_ref);
+            let mut r = vec![f64::NAN; n];
+            op.residual_into_on(&pool, &b, &x, &mut r);
+            for (g, w) in r.iter().zip(&r_ref) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+}

@@ -184,6 +184,16 @@ impl Simulation {
         self.family.set_kernel_pool(pool);
     }
 
+    /// The operator backend the thermal solves of this simulation run
+    /// on — `Stencil` when configured (`SimConfig::thermal.solver.backend`,
+    /// overridable via [`vfc_num::BACKEND_ENV`]) *and* the grid pattern
+    /// decomposed, `Csr` otherwise. Like the kernel pool, a pure
+    /// execution knob: reports are bit-identical either way, which is
+    /// why the backend does not enter [`SimConfig::cache_key`].
+    pub fn operator_backend(&self) -> vfc_num::OperatorBackend {
+        self.family.model(self.active).operator_backend()
+    }
+
     /// The TALB weight table in effect (uniform for other policies).
     pub fn weight_table(&self) -> &ThermalWeightTable {
         &self.weight_table

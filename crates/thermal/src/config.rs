@@ -1,7 +1,7 @@
 //! Configuration of the thermal network builder.
 
 use vfc_liquid::{ChannelGeometry, ConvectionModel, Coolant};
-use vfc_num::PreconditionerKind;
+use vfc_num::{OperatorBackend, PreconditionerKind};
 use vfc_units::{Celsius, HeatCapacity, Length, ThermalResistance};
 
 /// Linear-solver settings for the assembled networks.
@@ -10,8 +10,11 @@ use vfc_units::{Celsius, HeatCapacity, Length, ThermalResistance};
 /// cost at 0.5 mm cells drops several-fold from `Identity` to `Ilu0`
 /// (see `cargo bench -p vfc_bench --bench thermal_solver`); factorization
 /// state is cached per model and invalidated only on flow changes, so its
-/// setup cost amortizes across every 100 ms sample.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+/// setup cost amortizes across every 100 ms sample. The operator
+/// `backend` picks the matvec implementation (index-free stencil by
+/// default, CSR as the reference) — backends are bit-identical, so this
+/// knob only moves wall-clock.
+#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SolverConfig {
     /// Relative residual tolerance `‖b−Ax‖/‖b‖`.
     pub tolerance: f64,
@@ -20,6 +23,27 @@ pub struct SolverConfig {
     /// Preconditioner applied on every Krylov iteration
     /// (default: ILU(0), the fine-grid workhorse).
     pub preconditioner: PreconditionerKind,
+    /// Operator backend the Krylov matvecs run on (default:
+    /// [`OperatorBackend::Stencil`], falling back to CSR on patterns too
+    /// irregular to decompose). Overridable per process via
+    /// [`vfc_num::BACKEND_ENV`]. Excluded from `Debug` (and therefore
+    /// from simulation cache keys) on purpose: backends are bit-identical
+    /// by construction, so like `VFC_NUM_THREADS` this is an execution
+    /// knob that must never invalidate cached results.
+    pub backend: OperatorBackend,
+}
+
+/// Matches the pre-backend derive output so `SimConfig::cache_key`,
+/// which hashes configs through their `Debug` representation, is
+/// unaffected by the (result-invariant) backend choice.
+impl std::fmt::Debug for SolverConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverConfig")
+            .field("tolerance", &self.tolerance)
+            .field("max_iterations", &self.max_iterations)
+            .field("preconditioner", &self.preconditioner)
+            .finish()
+    }
 }
 
 impl Default for SolverConfig {
@@ -28,6 +52,7 @@ impl Default for SolverConfig {
             tolerance: 1e-10,
             max_iterations: 10_000,
             preconditioner: PreconditionerKind::Ilu0,
+            backend: OperatorBackend::Stencil,
         }
     }
 }
@@ -160,5 +185,22 @@ mod tests {
         assert_eq!(s.tolerance, 1e-10);
         assert_eq!(s.max_iterations, 10_000);
         assert_eq!(s.preconditioner, PreconditionerKind::Ilu0);
+        assert_eq!(s.backend, OperatorBackend::Stencil);
+    }
+
+    #[test]
+    fn solver_debug_excludes_the_backend() {
+        // Cache keys hash configs through Debug; the backend is
+        // bit-identical by construction and must not shift keys.
+        let mut a = SolverConfig::default();
+        let mut b = SolverConfig::default();
+        a.backend = OperatorBackend::Stencil;
+        b.backend = OperatorBackend::Csr;
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(
+            format!("{a:?}"),
+            "SolverConfig { tolerance: 1e-10, max_iterations: 10000, \
+             preconditioner: Ilu0 }"
+        );
     }
 }

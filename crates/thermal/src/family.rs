@@ -154,11 +154,20 @@ impl StackSkeleton {
         self.flow_stamps.len()
     }
 
-    /// The pattern-derived kernel schedules (level sets, coloring) every
-    /// model of this family — and every backward-Euler operator derived
-    /// from one — builds its preconditioner with.
+    /// The pattern-derived kernel schedules (level sets, coloring,
+    /// stencil decomposition) every model of this family — and every
+    /// backward-Euler operator derived from one — builds its
+    /// preconditioner and operator views with.
     pub fn schedules(&self) -> &Arc<KernelSchedules> {
         &self.schedules
+    }
+
+    /// The grid pattern's stencil decomposition, when regular enough
+    /// for the index-free backend (computed once per grid alongside the
+    /// CSR pattern; shared by every pump setting and backward-Euler
+    /// operator).
+    pub fn stencil(&self) -> Option<&Arc<vfc_num::StencilPattern>> {
+        self.schedules.stencil()
     }
 
     /// Instantiates a model of this family at the given flow.
@@ -193,7 +202,11 @@ impl StackSkeleton {
         links: &mut Vec<(usize, f64, f64)>,
     ) {
         debug_assert!(g.shares_structure(&self.g_base), "foreign matrix");
-        g.values_mut().copy_from_slice(self.g_base.values());
+        // Re-point at the shared flow-independent base, then
+        // copy-on-write exactly once while stamping the flow slots (an
+        // unpatched — air-cooled — matrix keeps sharing the skeleton's
+        // array outright).
+        g.share_values_from(&self.g_base);
         let values = g.values_mut();
         for s in &self.flow_stamps {
             values[s.value_idx as usize] += s.sign * patch.coef(s.cavity as usize, s.kind);
@@ -435,6 +448,59 @@ mod tests {
             );
             assert_eq!(member.boundary_injection(), direct.boundary_injection());
         }
+    }
+
+    #[test]
+    fn liquid_skeleton_decomposes_into_a_stencil_and_shares_it() {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let family = ThermalModelFamily::for_flows(&builder, &flows(&[300.0, 700.0])).unwrap();
+        let stencil = family
+            .skeleton()
+            .stencil()
+            .expect("the stacked-grid pattern is regular");
+        assert_eq!(stencil.order(), family.skeleton().node_count());
+        assert!(stencil.matches_pattern(family.skeleton().base_matrix()));
+        // One decomposition per grid, shared via the schedules Arc.
+        for m in family.models() {
+            assert!(Arc::ptr_eq(
+                m.skeleton().stencil().unwrap(),
+                family.skeleton().stencil().unwrap()
+            ));
+        }
+    }
+
+    #[test]
+    fn unpatched_members_share_the_skeleton_value_array() {
+        // The flow-independent values live exactly once: an air-cooled
+        // model (never patched) keeps sharing the skeleton's array.
+        let stack = ultrasparc::two_layer_air();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.5));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let family = ThermalModelFamily::build(&builder, &[None]).unwrap();
+        assert!(family
+            .model(0)
+            .conductance_matrix()
+            .shares_values(family.skeleton().base_matrix()));
+
+        // A liquid member is patched, so its values copy-on-write away
+        // from the base — but the structure stays shared.
+        let stack = ultrasparc::two_layer_liquid();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.5));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let family = ThermalModelFamily::for_flows(&builder, &flows(&[400.0])).unwrap();
+        assert!(!family
+            .model(0)
+            .conductance_matrix()
+            .shares_values(family.skeleton().base_matrix()));
+        assert!(family
+            .model(0)
+            .conductance_matrix()
+            .shares_structure(family.skeleton().base_matrix()));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 
 use std::sync::Arc;
 
-use vfc_num::{BiCgStab, CsrMatrix, KernelPool, Preconditioner, SolverWorkspace};
+use vfc_num::{
+    norm2_on, BiCgStab, CsrMatrix, KernelPool, LinearOperator, OperatorBackend, Preconditioner,
+    SolverWorkspace, StencilOp, StencilPattern,
+};
 use vfc_units::{Celsius, Seconds, VolumetricFlow, Watts};
 
 use crate::{FlowPatch, StackSkeleton, ThermalError};
@@ -106,6 +109,14 @@ impl NodeLayout {
 }
 
 /// Cached backward-Euler operator for one sub-step length.
+///
+/// The shifted values are materialized (the branch-free inner loops pay
+/// for themselves on every Krylov iteration; the on-the-fly
+/// [`vfc_num::CsrOp::with_shift`]/[`StencilOp::with_shift`] views cost a
+/// per-entry diagonal test that measures ~25% on the 100 µm transient),
+/// but the matrix shares the skeleton's index structure — the stencil
+/// backend reads `matrix.values()` through the one shared
+/// [`StencilPattern`].
 #[derive(Debug)]
 struct BeCache {
     /// Bit pattern of the sub-step length `h`.
@@ -287,6 +298,30 @@ impl ThermalModel {
         self.last_step_iterations
     }
 
+    /// The stencil pattern this model's solves run on, when the
+    /// configured (or [`vfc_num::BACKEND_ENV`]-overridden) backend is
+    /// `Stencil` and the grid's pattern decomposed into one.
+    fn stencil_pattern(&self) -> Option<&Arc<StencilPattern>> {
+        let configured =
+            OperatorBackend::env_override().unwrap_or(self.skeleton.config.solver.backend);
+        match configured {
+            OperatorBackend::Stencil => self.skeleton.schedules.stencil(),
+            OperatorBackend::Csr => None,
+        }
+    }
+
+    /// The operator backend this model's solves effectively run on:
+    /// `Stencil` when configured *and* the pattern decomposed, `Csr`
+    /// otherwise. Purely an execution property — both backends are
+    /// bit-identical.
+    pub fn operator_backend(&self) -> OperatorBackend {
+        if self.stencil_pattern().is_some() {
+            OperatorBackend::Stencil
+        } else {
+            OperatorBackend::Csr
+        }
+    }
+
     /// The current coolant flow (`None` for air-cooled models).
     pub fn flow(&self) -> Option<VolumetricFlow> {
         self.flow
@@ -456,8 +491,25 @@ impl ThermalModel {
                 x0
             }
         };
-        self.solver
-            .solve_with(&self.g, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
+        // Backend dispatch: the stencil view walks the same entries in
+        // the same order as CSR, so the iterates are bit-identical —
+        // only the per-entry index loads are gone.
+        match self.stencil_pattern().cloned() {
+            Some(pat) => {
+                let op = StencilOp::new(&pat, self.g.values());
+                self.solver
+                    .solve_with(&op, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
+            }
+            None => {
+                self.solver.solve_with(
+                    &self.g,
+                    &self.rhs_buf,
+                    &mut x,
+                    precond,
+                    &mut self.workspace,
+                )?;
+            }
+        }
         Ok(x)
     }
 
@@ -501,11 +553,7 @@ impl ThermalModel {
             return Err(ThermalError::InvalidTimeStep);
         }
         let h = dt.value() / substeps as f64;
-        self.ensure_be_matrix(h)?;
-        let be = self
-            .be_cache
-            .as_ref()
-            .expect("ensure_be_matrix populates the cache");
+        self.ensure_be_cache(h)?;
         self.last_step_iterations = 0;
         self.rhs_buf.resize(n, 0.0);
         // Hoist the sub-step-invariant rhs part out of the loop.
@@ -517,42 +565,52 @@ impl ThermalModel {
             self.resid_buf.resize(n, 0.0);
             self.seed_buf.resize(n, 0.0);
         }
-        for _ in 0..substeps {
-            for i in 0..n {
-                self.rhs_buf[i] = be.cap_over_h[i] * temps[i] + self.base_buf[i];
+        // Backend dispatch for the backward-Euler solve; both backends
+        // walk the same entries in the same order, so the iterates are
+        // bit-identical.
+        let pat = self.stencil_pattern().cloned();
+        let be = self
+            .be_cache
+            .as_ref()
+            .expect("ensure_be_cache populates the cache");
+        let iterations = match &pat {
+            Some(pat) => {
+                let op = StencilOp::new(pat, be.matrix.values());
+                run_substeps(
+                    &op,
+                    &self.solver,
+                    be.precond.as_ref(),
+                    &self.pool,
+                    self.transient_warm_seed,
+                    substeps,
+                    &be.cap_over_h,
+                    &self.base_buf,
+                    temps,
+                    &mut self.rhs_buf,
+                    &mut self.resid_buf,
+                    &mut self.seed_buf,
+                    &mut self.partials_buf,
+                    &mut self.workspace,
+                )?
             }
-            if self.transient_warm_seed {
-                // r = b − A·T_prev at the warm start. If the previous
-                // state already satisfies this sub-step (quasi-steady
-                // intervals do after the first sub-step), every
-                // remaining sub-step is bit-identical — stop here.
-                be.matrix
-                    .matvec_into_on(&self.pool, temps, &mut self.resid_buf);
-                for i in 0..n {
-                    self.resid_buf[i] = self.rhs_buf[i] - self.resid_buf[i];
-                }
-                let b_norm = vfc_num::norm2_on(&self.pool, &self.rhs_buf, &mut self.partials_buf);
-                let r_norm = vfc_num::norm2_on(&self.pool, &self.resid_buf, &mut self.partials_buf);
-                if r_norm <= self.solver.tolerance * b_norm {
-                    break;
-                }
-                // Seed with the preconditioned residual correction
-                // (M⁻¹·r is what the solver's first iteration would
-                // spend most of its work approximating).
-                be.precond.apply(&self.resid_buf, &mut self.seed_buf);
-                for i in 0..n {
-                    temps[i] += self.seed_buf[i];
-                }
-            }
-            let info = self.solver.solve_with(
+            None => run_substeps(
                 &be.matrix,
-                &self.rhs_buf,
-                temps,
+                &self.solver,
                 be.precond.as_ref(),
+                &self.pool,
+                self.transient_warm_seed,
+                substeps,
+                &be.cap_over_h,
+                &self.base_buf,
+                temps,
+                &mut self.rhs_buf,
+                &mut self.resid_buf,
+                &mut self.seed_buf,
+                &mut self.partials_buf,
                 &mut self.workspace,
-            )?;
-            self.last_step_iterations += info.iterations;
-        }
+            )?,
+        };
+        self.last_step_iterations = iterations;
         Ok(())
     }
 
@@ -585,18 +643,20 @@ impl ThermalModel {
     }
 
     /// Builds (or reuses) the backward-Euler operator `C/h + G` for the
-    /// given sub-step; the matrix shares the skeleton's CSR structure and
-    /// only its diagonal differs from `g` by `cap/h`.
-    fn ensure_be_matrix(&mut self, h: f64) -> Result<(), ThermalError> {
+    /// given sub-step; the matrix shares the skeleton's CSR structure
+    /// and only its diagonal differs from `g` by `cap/h`.
+    fn ensure_be_cache(&mut self, h: f64) -> Result<(), ThermalError> {
         let key = h.to_bits();
         if matches!(&self.be_cache, Some(c) if c.key == key) {
             return Ok(());
         }
         let cap_over_h: Vec<f64> = self.skeleton.cap.iter().map(|&c| c / h).collect();
         let mut matrix = self.g.clone();
-        let values = matrix.values_mut();
-        for (i, &di) in self.skeleton.diag_idx.iter().enumerate() {
-            values[di as usize] += cap_over_h[i];
+        {
+            let values = matrix.values_mut();
+            for (i, &di) in self.skeleton.diag_idx.iter().enumerate() {
+                values[di as usize] += cap_over_h[i];
+            }
         }
         // The BE operator shares the skeleton's pattern (only diagonal
         // values differ), so the skeleton's schedules apply to it too.
@@ -613,6 +673,64 @@ impl ThermalModel {
         });
         Ok(())
     }
+}
+
+/// The per-sub-step backward-Euler loop, generic over the operator
+/// backend (both backends are bit-identical, so this monomorphizes the
+/// hot loop per backend without duplicating its logic).
+///
+/// Per sub-step: the fused prologue builds `rhs = (C/h)∘T + (P + b₀)`
+/// and the warm-start residual `r = rhs − A·T` in **one pass over the
+/// grid**; a converged warm start short-circuits the remaining
+/// sub-steps bit-exactly; otherwise the state is seeded with `M⁻¹·r`
+/// and handed to the solver. Returns the summed Krylov iterations.
+#[allow(clippy::too_many_arguments)]
+fn run_substeps<A: LinearOperator>(
+    op: &A,
+    solver: &BiCgStab,
+    precond: &dyn Preconditioner,
+    pool: &Arc<KernelPool>,
+    warm_seed: bool,
+    substeps: usize,
+    cap_over_h: &[f64],
+    base: &[f64],
+    temps: &mut [f64],
+    rhs: &mut [f64],
+    resid: &mut [f64],
+    seed: &mut [f64],
+    partials: &mut Vec<f64>,
+    ws: &mut SolverWorkspace,
+) -> Result<usize, ThermalError> {
+    let n = temps.len();
+    let mut iterations = 0usize;
+    for _ in 0..substeps {
+        if warm_seed {
+            // rhs and r = rhs − A·T_prev in one fused pass. If the
+            // previous state already satisfies this sub-step
+            // (quasi-steady intervals do after the first sub-step),
+            // every remaining sub-step is bit-identical — stop here.
+            op.be_prologue_on(pool, cap_over_h, base, temps, rhs, resid);
+            let b_norm = norm2_on(pool, rhs, partials);
+            let r_norm = norm2_on(pool, resid, partials);
+            if r_norm <= solver.tolerance * b_norm {
+                break;
+            }
+            // Seed with the preconditioned residual correction (M⁻¹·r
+            // is what the solver's first iteration would spend most of
+            // its work approximating).
+            precond.apply(resid, seed);
+            for i in 0..n {
+                temps[i] += seed[i];
+            }
+        } else {
+            for i in 0..n {
+                rhs[i] = cap_over_h[i] * temps[i] + base[i];
+            }
+        }
+        let info = solver.solve_with(op, rhs, temps, precond, ws)?;
+        iterations += info.iterations;
+    }
+    Ok(iterations)
 }
 
 #[cfg(test)]
@@ -757,6 +875,107 @@ mod tests {
             iter_pairs.iter().all(|&(s, p)| s <= p),
             "seeding must not cost iterations: {iter_pairs:?}"
         );
+    }
+
+    /// Builds the same model twice, once per operator backend.
+    fn backend_pair(cell_mm: f64, flow_ml: f64) -> (ThermalModel, ThermalModel) {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid = GridSpec::from_cell_size(
+            stack.tiers()[0].floorplan(),
+            Length::from_millimeters(cell_mm),
+        );
+        let build = |backend| {
+            let mut cfg = ThermalConfig::default();
+            cfg.solver.backend = backend;
+            StackThermalBuilder::new(&stack, grid, cfg)
+                .build(Some(VolumetricFlow::from_ml_per_minute(flow_ml)))
+                .unwrap()
+        };
+        (
+            build(vfc_num::OperatorBackend::Stencil),
+            build(vfc_num::OperatorBackend::Csr),
+        )
+    }
+
+    #[test]
+    fn stencil_and_csr_backends_are_bit_identical() {
+        // Tentpole parity gate at model level: steady state, transient
+        // stepping and iteration counts must agree bit for bit between
+        // the index-free stencil backend and the CSR reference, at 1
+        // and 4 threads.
+        let (mut stencil, mut csr) = backend_pair(1.0, 500.0);
+        if OperatorBackend::env_override().is_none() {
+            assert_eq!(stencil.operator_backend(), OperatorBackend::Stencil);
+            assert_eq!(csr.operator_backend(), OperatorBackend::Csr);
+        }
+        let p_cold = core_power(&stencil, 1.5);
+        let p_hot = core_power(&stencil, 3.5);
+        for threads in [1usize, 4] {
+            for m in [&mut stencil, &mut csr] {
+                m.set_kernel_pool(KernelPool::new(threads));
+            }
+            let s1 = stencil.steady_state(&p_cold, None).unwrap();
+            let s2 = csr.steady_state(&p_cold, None).unwrap();
+            assert!(
+                s1.iter().zip(&s2).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "steady state diverged between backends at {threads} threads"
+            );
+            let mut t1 = s1;
+            let mut t2 = s2;
+            for _ in 0..3 {
+                stencil
+                    .step(&mut t1, &p_hot, Seconds::from_millis(100.0), 5)
+                    .unwrap();
+                csr.step(&mut t2, &p_hot, Seconds::from_millis(100.0), 5)
+                    .unwrap();
+                assert_eq!(
+                    stencil.last_step_iterations(),
+                    csr.last_step_iterations(),
+                    "iteration counts diverged at {threads} threads"
+                );
+                assert!(
+                    t1.iter().zip(&t2).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "transient diverged between backends at {threads} threads"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Satellite parity property: full `ThermalModel::step` is
+        /// bit-identical between backends across random grids, flows
+        /// and thread counts (the `VFC_NUM_THREADS` axis of the parity
+        /// suite).
+        #[test]
+        fn step_parity_across_grids_flows_and_threads(
+            cell_idx in 0usize..3,
+            flow_ml in 250.0f64..1000.0,
+            watts in 1.0f64..4.0,
+            threads_idx in 0usize..2,
+        ) {
+            let cell = [1.0, 1.5, 2.0][cell_idx];
+            let threads = [1usize, 4][threads_idx];
+            let (mut stencil, mut csr) = backend_pair(cell, flow_ml);
+            stencil.set_kernel_pool(KernelPool::new(threads));
+            csr.set_kernel_pool(KernelPool::new(threads));
+            let p0 = core_power(&stencil, 1.5);
+            let p1 = core_power(&stencil, watts);
+            let s1 = stencil.steady_state(&p0, None).unwrap();
+            let s2 = csr.steady_state(&p0, None).unwrap();
+            for (a, b) in s1.iter().zip(&s2) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let mut t1 = s1;
+            let mut t2 = s2;
+            stencil.step(&mut t1, &p1, Seconds::from_millis(100.0), 5).unwrap();
+            csr.step(&mut t2, &p1, Seconds::from_millis(100.0), 5).unwrap();
+            prop_assert_eq!(stencil.last_step_iterations(), csr.last_step_iterations());
+            for (a, b) in t1.iter().zip(&t2) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     proptest! {

@@ -1,0 +1,87 @@
+//! Operator-backend parity at the outermost observable surface: a full
+//! simulation must produce an **identical** `SimReport` on the
+//! index-free stencil backend and the CSR reference — and the backend
+//! must not perturb cache keys, since bit-identical results make it a
+//! pure execution knob.
+
+use vfc::num::OperatorBackend;
+use vfc::prelude::*;
+use vfc::workload::Benchmark;
+
+fn config(backend: OperatorBackend, policy: PolicyKind, cooling: CoolingKind) -> SimConfig {
+    let mut cfg = SimConfig::new(
+        SystemKind::TwoLayer,
+        cooling,
+        policy,
+        Benchmark::by_name("Web-med").expect("table II"),
+    );
+    cfg.duration = Seconds::new(3.0);
+    cfg.grid_cell = Length::from_millimeters(1.0);
+    cfg.thermal.solver.backend = backend;
+    cfg
+}
+
+#[test]
+fn full_reports_are_identical_across_backends() {
+    // VFC_OPERATOR_BACKEND would force both runs onto one backend and
+    // make this test vacuous; it is an escape hatch for operators, not
+    // for CI.
+    assert!(
+        OperatorBackend::env_override().is_none(),
+        "unset VFC_OPERATOR_BACKEND when running the parity suite"
+    );
+    for (policy, cooling) in [
+        (PolicyKind::Talb, CoolingKind::LiquidVariable),
+        (
+            PolicyKind::LoadBalancing,
+            CoolingKind::LiquidFixed(FlowSetting::from_index(2)),
+        ),
+    ] {
+        let stencil = Simulation::new(config(OperatorBackend::Stencil, policy, cooling))
+            .expect("build")
+            .run()
+            .expect("run");
+        let csr = Simulation::new(config(OperatorBackend::Csr, policy, cooling))
+            .expect("build")
+            .run()
+            .expect("run");
+        assert_eq!(
+            stencil, csr,
+            "{policy:?}/{cooling:?}: backends must agree on every report field"
+        );
+    }
+}
+
+#[test]
+fn backend_choice_does_not_shift_cache_keys() {
+    let a = config(
+        OperatorBackend::Stencil,
+        PolicyKind::Talb,
+        CoolingKind::LiquidVariable,
+    );
+    let b = config(
+        OperatorBackend::Csr,
+        PolicyKind::Talb,
+        CoolingKind::LiquidVariable,
+    );
+    assert_eq!(
+        a.cache_key(),
+        b.cache_key(),
+        "a bit-identical execution knob must not invalidate cached results"
+    );
+}
+
+#[test]
+fn engine_reports_the_effective_backend() {
+    let sim = Simulation::new(config(
+        OperatorBackend::Stencil,
+        PolicyKind::LoadBalancing,
+        CoolingKind::LiquidFixed(FlowSetting::from_index(2)),
+    ))
+    .expect("build");
+    if OperatorBackend::env_override().is_none() {
+        // The 1 mm stacked grid is regular: the stencil decomposition
+        // must engage.
+        assert_eq!(sim.operator_backend(), OperatorBackend::Stencil);
+    }
+}

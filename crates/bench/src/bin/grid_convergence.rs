@@ -9,8 +9,11 @@
 //! no/Jacobi/ILU(0) preconditioning at each grid (factorizations cached,
 //! as in the engine's sample loop).
 //!
-//! Usage: grid_convergence `[--fine]`   (--fine adds the 100 µm point,
-//! ~58k nodes; expect tens of seconds)
+//! Usage: grid_convergence `[--fine]`   (--fine adds the paper's 100 µm
+//! point, ~58k nodes, and the embedded-channel 50 µm point, ~230k nodes;
+//! the two fine points time only the practical preconditioners — ILU(0)
+//! and multigrid — as unpreconditioned solves there would dominate the
+//! whole study)
 
 use std::time::Instant;
 
@@ -49,31 +52,44 @@ fn main() {
     let mut cells = vec![2.0, 1.0, 0.5, 0.25];
     if fine {
         cells.push(0.1); // the paper's grid
+        cells.push(0.05); // embedded-channel studies
     }
     println!(
         "Grid convergence, 2-layer liquid stack, setting 3 ({:.0} ml/min/cavity), {threads} solver thread(s):",
         flow.to_ml_per_minute()
     );
     println!(
-        "{:>9} {:>10} {:>10} {:>12} {:>9} {:>9} {:>9} {:>8}",
-        "cell mm", "nodes", "Tmax C", "dT vs prev", "none ms", "jac ms", "ilu0 ms", "speedup"
+        "{:>9} {:>10} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "cell mm",
+        "nodes",
+        "Tmax C",
+        "dT vs prev",
+        "none ms",
+        "jac ms",
+        "ilu0 ms",
+        "mg ms",
+        "speedup"
     );
     let mut prev: Option<f64> = None;
     for cell in cells {
         let grid =
             GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
         let reps = if grid.cell_count() > 20_000 { 1 } else { 3 };
-        let mut times = [0.0f64; 3];
-        let mut tmaxes = [0.0f64; 3];
+        // Below 100 µm only the practical preconditioners get timed.
+        let kinds: &[PreconditionerKind] = if cell < 0.1 - 1e-9 {
+            &[PreconditionerKind::Ilu0, PreconditionerKind::Multigrid]
+        } else {
+            &[
+                PreconditionerKind::Identity,
+                PreconditionerKind::Jacobi,
+                PreconditionerKind::Ilu0,
+                PreconditionerKind::Multigrid,
+            ]
+        };
+        let mut times: Vec<f64> = Vec::new();
+        let mut tmaxes: Vec<f64> = Vec::new();
         let mut nodes = 0;
-        for (i, kind) in [
-            PreconditionerKind::Identity,
-            PreconditionerKind::Jacobi,
-            PreconditionerKind::Ilu0,
-        ]
-        .into_iter()
-        .enumerate()
-        {
+        for &kind in kinds {
             let mut cfg = ThermalConfig::default();
             cfg.solver.preconditioner = kind;
             let builder = StackThermalBuilder::new(&stack, grid, cfg);
@@ -86,8 +102,8 @@ fn main() {
                 _ => Watts::new(0.3),
             });
             let (ms, tmax) = time_solve(&mut model, &p, reps);
-            times[i] = ms;
-            tmaxes[i] = tmax;
+            times.push(ms);
+            tmaxes.push(tmax);
             records.push(PerfRecord {
                 case: "steady".into(),
                 grid_mm: cell,
@@ -108,18 +124,26 @@ fn main() {
             spread < 1e-5,
             "preconditioners disagree on Tmax by {spread} K"
         );
-        let tmax = tmaxes[2];
+        let tmax = *tmaxes.last().unwrap();
+        let col = |kind: PreconditionerKind| {
+            kinds
+                .iter()
+                .position(|&k| k == kind)
+                .map(|i| format!("{:.1}", times[i]))
+                .unwrap_or_else(|| "-".into())
+        };
         println!(
-            "{:>9.2} {:>10} {:>10.2} {:>12} {:>9.1} {:>9.1} {:>9.1} {:>7.1}x",
+            "{:>9.2} {:>10} {:>10.2} {:>12} {:>9} {:>9} {:>9} {:>9} {:>7.1}x",
             cell,
             nodes,
             tmax,
             prev.map(|p| format!("{:+.2}", tmax - p))
                 .unwrap_or_else(|| "-".into()),
-            times[0],
-            times[1],
-            times[2],
-            times[0] / times[2].max(1e-9),
+            col(PreconditionerKind::Identity),
+            col(PreconditionerKind::Jacobi),
+            col(PreconditionerKind::Ilu0),
+            col(PreconditionerKind::Multigrid),
+            times[0] / times.last().unwrap().max(1e-9),
         );
         prev = Some(tmax);
     }

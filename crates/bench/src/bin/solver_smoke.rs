@@ -8,7 +8,8 @@
 //!   steady state within an iteration budget that a regressed solver
 //!   would blow through;
 //! * ILU(0) needs strictly fewer iterations than Jacobi, which needs
-//!   strictly fewer than no preconditioning;
+//!   strictly fewer than no preconditioning; multigrid needs no more
+//!   than ILU(0) and stays inside a fixed V-cycle budget per solve;
 //! * all preconditioners agree on the solution (max |ΔT| ≤ 10 µK);
 //! * a flow-patched model solves to the same answer as a from-scratch
 //!   build at that flow.
@@ -81,12 +82,34 @@ fn determinism_child() {
             .expect("step");
         step_iters.push(model.last_step_iterations());
     }
+
+    // The same scenario multigrid-preconditioned: the hierarchy's
+    // partitioned transfers and Galerkin sweeps join the fingerprint.
+    let mut mg_cfg = ThermalConfig::default();
+    mg_cfg.solver.preconditioner = PreconditionerKind::Multigrid;
+    let mut mg_model = StackThermalBuilder::new(&stack, grid, mg_cfg)
+        .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
+        .expect("build");
+    let mg_steady = mg_model.steady_state(&p, None).expect("steady");
+    let mut mg_temps = mg_steady.clone();
+    let mut mg_step_iters = Vec::new();
+    for _ in 0..3 {
+        mg_model
+            .step(&mut mg_temps, &p_hot, Seconds::from_millis(100.0), 5)
+            .expect("step");
+        mg_step_iters.push(mg_model.last_step_iterations());
+    }
+
     println!(
-        "threads={} steady_hash={:016x} step_iters={:?} transient_hash={:016x}",
+        "threads={} steady_hash={:016x} step_iters={:?} transient_hash={:016x} \
+         mg_steady_hash={:016x} mg_step_iters={:?} mg_transient_hash={:016x}",
         vfc::num::KernelPool::global().threads(),
         bit_hash(&steady),
         step_iters,
         bit_hash(&temps),
+        bit_hash(&mg_steady),
+        mg_step_iters,
+        bit_hash(&mg_temps),
     );
 }
 
@@ -155,31 +178,40 @@ fn main() {
 
     println!("thermal solver smoke: liquid 0.5 mm grid, {n} nodes");
     println!(
-        "{:>10} {:>7} {:>12} {:>10}",
-        "precond", "iters", "residual", "solve ms"
+        "{:>12} {:>7} {:>8} {:>12} {:>10}",
+        "precond", "iters", "vcycles", "residual", "solve ms"
     );
+    let pool = std::sync::Arc::clone(model.kernel_pool());
+    let schedules = model.skeleton().schedules();
     let mut iters = Vec::new();
+    let mut vcycles = Vec::new();
     let mut solutions: Vec<Vec<f64>> = Vec::new();
     for kind in [
         PreconditionerKind::Identity,
         PreconditionerKind::Jacobi,
         PreconditionerKind::Ilu0,
+        PreconditionerKind::Multigrid,
     ] {
-        let precond = kind.build(a).expect("factorization");
+        let precond = kind
+            .build_on(a, std::sync::Arc::clone(&pool), Some(schedules))
+            .expect("factorization");
         let mut x = model.initial_state();
         let t0 = Instant::now();
         let info = solver
             .solve_with(a, &rhs, &mut x, precond.as_ref(), &mut ws)
             .expect("converges");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cycles = precond.cycles();
         println!(
-            "{:>10} {:>7} {:>12.2e} {:>10.2}",
+            "{:>12} {:>7} {:>8} {:>12.2e} {:>10.2}",
             format!("{kind:?}"),
             info.iterations,
+            cycles.map_or("-".into(), |c| c.to_string()),
             info.residual,
             ms
         );
         iters.push(info.iterations);
+        vcycles.push(cycles);
         solutions.push(x);
     }
 
@@ -197,6 +229,30 @@ fn main() {
         iters[1] <= 400,
         "Jacobi iteration count regressed: {} > 400",
         iters[1]
+    );
+    assert!(
+        iters[3] <= iters[2],
+        "multigrid must not need more iterations than ILU(0): {} vs {}",
+        iters[3],
+        iters[2]
+    );
+    assert!(
+        iters[3] <= 10,
+        "multigrid iteration count regressed: {} > 10 (measured: 3)",
+        iters[3]
+    );
+    // BiCGStab applies the preconditioner twice per iteration, so the
+    // V-cycle count per solve is pinned by the iteration gate — a
+    // deeper or shallower cycle structure cannot hide behind it.
+    let mg_cycles = vcycles[3].expect("multigrid reports its V-cycle count");
+    assert!(
+        mg_cycles <= 2 * iters[3] as u64 && mg_cycles >= iters[3] as u64,
+        "V-cycles per solve out of range: {mg_cycles} for {} iterations",
+        iters[3]
+    );
+    assert!(
+        vcycles[..3].iter().all(Option::is_none),
+        "only multigrid runs V-cycles"
     );
     let max_dev = solutions[1..]
         .iter()

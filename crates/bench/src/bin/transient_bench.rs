@@ -31,10 +31,14 @@
 use std::time::Instant;
 
 use vfc::floorplan::{ultrasparc, GridSpec};
-use vfc::num::{Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner};
+use vfc::num::{
+    Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner, PreconditionerKind,
+};
 use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
-use vfc_bench::perf::{read_bench_records, report_bench_records, root_record_path, PerfRecord};
+use vfc_bench::perf::{
+    precond_label, read_bench_records, report_bench_records, root_record_path, PerfRecord,
+};
 
 /// Samples timed per (grid, backend, threads) cell.
 const SAMPLES: usize = 10;
@@ -159,9 +163,10 @@ fn main() {
 
     println!("Transient 100 ms sample (5 backward-Euler sub-steps), 2-layer liquid stack");
     println!(
-        "{:>9} {:>9} {:>8} {:>8} {:>11} {:>7} {:>8} {:>11} {:>10}",
+        "{:>9} {:>9} {:>8} {:>8} {:>8} {:>11} {:>7} {:>8} {:>11} {:>10}",
         "cell mm",
         "nodes",
+        "precond",
         "backend",
         "threads",
         "sample ms",
@@ -170,107 +175,117 @@ fn main() {
         "broadcasts",
         "barriers"
     );
+    let preconds = [PreconditionerKind::Ilu0, PreconditionerKind::Multigrid];
     let mut records = Vec::new();
     let mut gate_failures = 0usize;
     let mut gate_matches = 0usize;
     for &cell in &cells {
         let grid =
             GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
-        let mut base_ms = None;
-        // Determinism reference shared across backends AND thread
-        // counts: everything must land the same bits and iterations.
-        let mut reference: Option<(usize, Vec<f64>)> = None;
-        for &backend in &backends {
-            for &t in &threads {
-                let mut cfg = ThermalConfig::default();
-                cfg.solver.backend = backend;
-                let builder = StackThermalBuilder::new(&stack, grid, cfg);
-                let mut model = builder.build(Some(flow)).expect("build");
-                let pool = KernelPool::new(t);
-                model.set_kernel_pool(std::sync::Arc::clone(&pool));
-                model.set_transient_warm_seed(!no_seed);
-                let p_low = model.uniform_block_power(&stack, |b| {
-                    if b.is_core() {
-                        Watts::new(1.5)
-                    } else {
-                        Watts::new(0.4)
-                    }
-                });
-                let p_high = model.uniform_block_power(&stack, |b| {
-                    if b.is_core() {
-                        Watts::new(3.5)
-                    } else {
-                        Watts::new(0.6)
-                    }
-                });
-                let (ms, iters, temps, broadcasts, barriers) =
-                    time_transient(&mut model, &pool, &p_low, &p_high);
-                match &reference {
-                    None => reference = Some((iters, temps)),
-                    Some((ref_iters, ref_temps)) => {
-                        assert_eq!(
-                            iters,
-                            *ref_iters,
-                            "iteration count changed ({} backend, {t} threads)",
-                            backend_label(backend)
-                        );
-                        assert!(
-                            temps
-                                .iter()
-                                .zip(ref_temps)
-                                .all(|(a, b)| a.to_bits() == b.to_bits()),
-                            "temperatures diverged ({} backend, {t} threads)",
-                            backend_label(backend)
-                        );
-                    }
-                }
-                let speedup = base_ms.get_or_insert(ms);
-                println!(
-                    "{:>9.2} {:>9} {:>8} {:>8} {:>11.2} {:>7} {:>7.2}x {:>11} {:>10}",
-                    cell,
-                    model.node_count(),
-                    backend_label(model.operator_backend()),
-                    t,
-                    ms,
-                    iters,
-                    *speedup / ms.max(1e-9),
-                    broadcasts / SAMPLES as u64,
-                    barriers / SAMPLES as u64,
-                );
-                let case = format!(
-                    "transient{}{}",
-                    if no_seed { "-noseed" } else { "" },
-                    if backend == OperatorBackend::Csr {
-                        "-csr"
-                    } else {
-                        ""
-                    }
-                );
-                if gate {
-                    if let Some(c) = committed
-                        .iter()
-                        .find(|c| c.case == case && c.grid_mm == cell && c.iters > 0)
-                    {
-                        gate_matches += 1;
-                        if c.iters != iters {
-                            eprintln!(
-                                "ITERATION GATE: {case} at {cell} mm measured {iters}, \
-                                 committed {}",
-                                c.iters
+        for &kind in &preconds {
+            let mut base_ms = None;
+            // Determinism reference shared across backends AND thread
+            // counts: everything must land the same bits and iterations.
+            let mut reference: Option<(usize, Vec<f64>)> = None;
+            for &backend in &backends {
+                for &t in &threads {
+                    let mut cfg = ThermalConfig::default();
+                    cfg.solver.backend = backend;
+                    cfg.solver.preconditioner = kind;
+                    let builder = StackThermalBuilder::new(&stack, grid, cfg);
+                    let mut model = builder.build(Some(flow)).expect("build");
+                    let pool = KernelPool::new(t);
+                    model.set_kernel_pool(std::sync::Arc::clone(&pool));
+                    model.set_transient_warm_seed(!no_seed);
+                    let p_low = model.uniform_block_power(&stack, |b| {
+                        if b.is_core() {
+                            Watts::new(1.5)
+                        } else {
+                            Watts::new(0.4)
+                        }
+                    });
+                    let p_high = model.uniform_block_power(&stack, |b| {
+                        if b.is_core() {
+                            Watts::new(3.5)
+                        } else {
+                            Watts::new(0.6)
+                        }
+                    });
+                    let (ms, iters, temps, broadcasts, barriers) =
+                        time_transient(&mut model, &pool, &p_low, &p_high);
+                    match &reference {
+                        None => reference = Some((iters, temps)),
+                        Some((ref_iters, ref_temps)) => {
+                            assert_eq!(
+                                iters,
+                                *ref_iters,
+                                "iteration count changed ({} backend, {t} threads)",
+                                backend_label(backend)
                             );
-                            gate_failures += 1;
+                            assert!(
+                                temps
+                                    .iter()
+                                    .zip(ref_temps)
+                                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                                "temperatures diverged ({} backend, {t} threads)",
+                                backend_label(backend)
+                            );
                         }
                     }
+                    let speedup = base_ms.get_or_insert(ms);
+                    println!(
+                        "{:>9.2} {:>9} {:>8} {:>8} {:>8} {:>11.2} {:>7} {:>7.2}x {:>11} {:>10}",
+                        cell,
+                        model.node_count(),
+                        precond_label(kind),
+                        backend_label(model.operator_backend()),
+                        t,
+                        ms,
+                        iters,
+                        *speedup / ms.max(1e-9),
+                        broadcasts / SAMPLES as u64,
+                        barriers / SAMPLES as u64,
+                    );
+                    let case = format!(
+                        "transient{}{}{}",
+                        if no_seed { "-noseed" } else { "" },
+                        if kind == PreconditionerKind::Multigrid {
+                            "-mg"
+                        } else {
+                            ""
+                        },
+                        if backend == OperatorBackend::Csr {
+                            "-csr"
+                        } else {
+                            ""
+                        }
+                    );
+                    if gate {
+                        if let Some(c) = committed
+                            .iter()
+                            .find(|c| c.case == case && c.grid_mm == cell && c.iters > 0)
+                        {
+                            gate_matches += 1;
+                            if c.iters != iters {
+                                eprintln!(
+                                    "ITERATION GATE: {case} at {cell} mm measured {iters}, \
+                                 committed {}",
+                                    c.iters
+                                );
+                                gate_failures += 1;
+                            }
+                        }
+                    }
+                    records.push(PerfRecord {
+                        case,
+                        grid_mm: cell,
+                        nodes: model.node_count(),
+                        precond: precond_label(kind).into(),
+                        threads: t,
+                        ms,
+                        iters,
+                    });
                 }
-                records.push(PerfRecord {
-                    case,
-                    grid_mm: cell,
-                    nodes: model.node_count(),
-                    precond: "ilu0".into(),
-                    threads: t,
-                    ms,
-                    iters,
-                });
             }
         }
         // Barrier plan on this grid: merged phases vs one-per-level

@@ -18,11 +18,17 @@
 //!   without touching a single bit of the state;
 //! * the index-free stencil backend reproduces the CSR reference **bit
 //!   for bit** over the full scenario (the operator-parity gate);
+//! * the multigrid-preconditioned scenario honours the same thread and
+//!   backend parity contracts, beats ILU(0) on total Krylov iterations
+//!   and stays inside its own fixed budget;
 //! * ILU(0) level merging strictly reduces the sweep barrier count
 //!   versus the one-barrier-per-level plan.
 
 use vfc::floorplan::{ultrasparc, GridSpec};
-use vfc::num::{Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner, PAR_MIN_LEN};
+use vfc::num::{
+    Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner, PreconditionerKind,
+    PAR_MIN_LEN,
+};
 use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
 
@@ -62,15 +68,20 @@ fn run_scenario(model: &mut ThermalModel) -> (Vec<usize>, Vec<f64>) {
 }
 
 fn build_model(threads: usize) -> ThermalModel {
-    build_model_with(threads, OperatorBackend::Stencil)
+    build_model_with(threads, OperatorBackend::Stencil, PreconditionerKind::Ilu0)
 }
 
-fn build_model_with(threads: usize, backend: OperatorBackend) -> ThermalModel {
+fn build_model_with(
+    threads: usize,
+    backend: OperatorBackend,
+    preconditioner: PreconditionerKind,
+) -> ThermalModel {
     let stack = ultrasparc::two_layer_liquid();
     let grid =
         GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(0.25));
     let mut cfg = ThermalConfig::default();
     cfg.solver.backend = backend;
+    cfg.solver.preconditioner = preconditioner;
     let mut model = StackThermalBuilder::new(&stack, grid, cfg)
         .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
         .expect("build");
@@ -127,7 +138,7 @@ fn main() {
     // Operator-backend parity: the CSR reference must reproduce the
     // stencil run bit for bit (same scenario, 2-thread pool).
     {
-        let mut csr = build_model_with(2, OperatorBackend::Csr);
+        let mut csr = build_model_with(2, OperatorBackend::Csr, PreconditionerKind::Ilu0);
         if OperatorBackend::env_override().is_none() {
             assert_eq!(csr.operator_backend(), OperatorBackend::Csr);
             assert_eq!(
@@ -147,6 +158,75 @@ fn main() {
             "stencil and CSR backends diverged"
         );
         println!("backend parity: stencil and CSR bit-identical over the scenario");
+    }
+
+    // Multigrid transient gates: the V-cycle-preconditioned scenario is
+    // bit-identical at 1, 2 and 4 threads and on both operator
+    // backends, saves iterations over ILU(0), and stays inside its own
+    // fixed budget.
+    {
+        let mut mg_ref: Option<(Vec<usize>, Vec<f64>)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut model = build_model_with(
+                threads,
+                OperatorBackend::Stencil,
+                PreconditionerKind::Multigrid,
+            );
+            let (iters, temps) = run_scenario(&mut model);
+            let total: usize = iters.iter().sum();
+            match &mg_ref {
+                None => {
+                    println!(
+                        "multigrid: {total:>4} Krylov iterations, per-sample {:?}",
+                        &iters[..6.min(iters.len())]
+                    );
+                    // The scenario measures far fewer iterations than
+                    // the 560 ILU(0) takes; the budget only lets a real
+                    // regression (lost hierarchy, broken Galerkin
+                    // re-fold) trip it.
+                    assert!(
+                        total <= 300,
+                        "multigrid transient iteration budget regressed: {total} > 300"
+                    );
+                    assert!(total > 0, "scenario must exercise the solver");
+                    let (ilu_iters, _) = reference.as_ref().expect("reference recorded");
+                    let ilu_total: usize = ilu_iters.iter().sum();
+                    assert!(
+                        total < ilu_total,
+                        "multigrid saved nothing over ILU(0): {total} vs {ilu_total}"
+                    );
+                    mg_ref = Some((iters, temps));
+                }
+                Some((ref_iters, ref_temps)) => {
+                    assert_eq!(
+                        &iters, ref_iters,
+                        "multigrid iteration counts changed at {threads} threads"
+                    );
+                    assert!(
+                        temps
+                            .iter()
+                            .zip(ref_temps)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "multigrid temperatures diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+        let mut csr = build_model_with(2, OperatorBackend::Csr, PreconditionerKind::Multigrid);
+        let (csr_iters, csr_temps) = run_scenario(&mut csr);
+        let (ref_iters, ref_temps) = mg_ref.as_ref().expect("multigrid reference recorded");
+        assert_eq!(
+            &csr_iters, ref_iters,
+            "backends disagree on multigrid iterations"
+        );
+        assert!(
+            csr_temps
+                .iter()
+                .zip(ref_temps)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "stencil and CSR backends diverged under multigrid"
+        );
+        println!("multigrid parity: thread counts and backends bit-identical");
     }
 
     // Level merging: a parallel ILU(0) apply must cross strictly fewer

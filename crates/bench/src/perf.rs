@@ -88,6 +88,7 @@ pub fn precond_label(kind: vfc::num::PreconditionerKind) -> &'static str {
         PreconditionerKind::Jacobi => "jacobi",
         PreconditionerKind::Ilu0 => "ilu0",
         PreconditionerKind::MulticolorGs => "mcgs",
+        PreconditionerKind::Multigrid => "mg",
     }
 }
 

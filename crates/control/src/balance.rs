@@ -131,8 +131,16 @@ pub fn balanced_core_powers(
     let scfg = model.skeleton().config().solver;
     let solver = scfg.bicgstab();
     let pool = Arc::clone(model.kernel_pool());
-    let schedules = (pool.threads() > 1 && m >= vfc_num::PAR_MIN_LEN)
-        .then(|| Arc::new(KernelSchedules::for_matrix(&reduced)));
+    // A multigrid run also needs schedules regardless of thread count:
+    // they carry the coarsening hierarchy (built over the free-node
+    // subset of the grid coordinates — core cells dropping out just
+    // shrinks their aggregates).
+    let wants_mg = scfg.preconditioner == vfc_num::PreconditionerKind::Multigrid;
+    let schedules = ((pool.threads() > 1 || wants_mg) && m >= vfc_num::PAR_MIN_LEN).then(|| {
+        let full_coords = layout.grid_coords();
+        let coords: Vec<vfc_num::GridCoord> = free_nodes.iter().map(|&i| full_coords[i]).collect();
+        Arc::new(KernelSchedules::for_grid_matrix(&reduced, &coords))
+    });
     // The reduced system keeps most of the grid's structure (only core
     // cells drop out), so the index-free stencil backend usually still
     // decomposes it; bit-identical to CSR, so the recovered balanced

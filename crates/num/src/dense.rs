@@ -196,6 +196,105 @@ fn perm_index(_perm: &[usize], physical_row: usize) -> usize {
     physical_row
 }
 
+/// LU factors of a square [`DenseMatrix`], computed once and reused.
+///
+/// [`DenseMatrix::lu_solve`] refactors on every call — fine for one-shot
+/// solves, wasteful when the same matrix is solved every iteration (the
+/// multigrid coarsest level runs one of these per V-cycle). `factor`
+/// pays the `O(n³)` elimination once; [`solve_into`](Self::solve_into)
+/// is a pair of `O(n²)` triangular substitutions with a fixed summation
+/// order, so repeated solves are bit-identical.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Packed factors, physical row-major: strictly below the pivot
+    /// column the multipliers of unit-lower `L`, elsewhere `U`.
+    lu: Vec<f64>,
+    /// `perm[logical] = physical` pivot row order.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factors `a` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::SingularMatrix`] if a pivot vanishes,
+    /// [`NumError::DimensionMismatch`] for non-square `a`.
+    pub fn factor(a: &DenseMatrix) -> Result<Self, NumError> {
+        if a.rows != a.cols {
+            return Err(NumError::DimensionMismatch {
+                context: "lu factorization requires a square matrix",
+            });
+        }
+        let n = a.rows;
+        let mut lu = a.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_val = lu[perm[col] * n + col].abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let v = lu[pr * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(NumError::SingularMatrix { pivot: col });
+            }
+            perm.swap(col, pivot_row);
+            let prow = perm[col];
+            let pivot = lu[prow * n + col];
+            for &r in perm.iter().skip(col + 1) {
+                let factor = lu[r * n + col] / pivot;
+                lu[r * n + col] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in (col + 1)..n {
+                    lu[r * n + k] -= factor * lu[prow * n + k];
+                }
+            }
+        }
+        Ok(Self { n, lu, perm })
+    }
+
+    /// Matrix order the factors were computed for.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` from the stored factors (allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` differ from the factored order.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "lu solve: rhs length");
+        assert_eq!(x.len(), n, "lu solve: solution length");
+        // Forward substitution with unit-lower L in pivot order.
+        for col in 0..n {
+            let prow = self.perm[col];
+            let mut sum = b[prow];
+            for k in 0..col {
+                sum -= self.lu[prow * n + k] * x[k];
+            }
+            x[col] = sum;
+        }
+        // Back substitution with U.
+        for col in (0..n).rev() {
+            let prow = self.perm[col];
+            let mut sum = x[col];
+            for k in (col + 1)..n {
+                sum -= self.lu[prow * n + k] * x[k];
+            }
+            x[col] = sum / self.lu[prow * n + col];
+        }
+    }
+}
+
 impl core::ops::Index<(usize, usize)> for DenseMatrix {
     type Output = f64;
     #[inline]
@@ -286,6 +385,46 @@ mod tests {
                 assert!((got - want).abs() < 1e-8, "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn lu_factors_match_one_shot_solve() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 7, 33] {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.random_range(-1.0..1.0);
+                }
+                a[(i, i)] += n as f64;
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+            let lu = LuFactors::factor(&a).unwrap();
+            assert_eq!(lu.order(), n);
+            let mut x = vec![0.0; n];
+            lu.solve_into(&b, &mut x);
+            let reference = a.lu_solve(&b).unwrap();
+            for (got, want) in x.iter().zip(&reference) {
+                assert!((got - want).abs() < 1e-9, "n={n}: {got} vs {want}");
+            }
+            // Repeated solves from the same factors are bit-identical.
+            let mut x2 = vec![0.0; n];
+            lu.solve_into(&b, &mut x2);
+            assert!(x.iter().zip(&x2).all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+    }
+
+    #[test]
+    fn lu_factors_reject_bad_inputs() {
+        assert!(matches!(
+            LuFactors::factor(&DenseMatrix::zeros(2, 3)),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+        let singular = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(
+            LuFactors::factor(&singular),
+            Err(NumError::SingularMatrix { .. })
+        ));
     }
 
     #[test]

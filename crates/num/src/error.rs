@@ -26,6 +26,15 @@ pub enum NumError {
         /// Iteration at which the breakdown occurred.
         iterations: usize,
     },
+    /// Pattern-derived execution state (kernel schedules, a multigrid
+    /// hierarchy) was offered to a matrix with a different sparsity
+    /// pattern. Running parallel sweeps against foreign levels/colors —
+    /// or Galerkin scatter maps against foreign entries — would be a
+    /// data race or silent corruption, so builders refuse up front.
+    PatternMismatch {
+        /// Which builder rejected the foreign pattern.
+        context: &'static str,
+    },
 }
 
 impl core::fmt::Display for NumError {
@@ -46,6 +55,12 @@ impl core::fmt::Display for NumError {
             }
             NumError::Breakdown { iterations } => {
                 write!(f, "iterative method broke down at iteration {iterations}")
+            }
+            NumError::PatternMismatch { context } => {
+                write!(
+                    f,
+                    "{context}: schedules were computed for a different sparsity pattern"
+                )
             }
         }
     }

@@ -18,10 +18,11 @@
 //! * [`ConjugateGradient`] for symmetric positive-definite systems;
 //! * [`BiCgStab`] for the nonsymmetric systems produced by advection;
 //! * the [`Preconditioner`] trait with [`JacobiPreconditioner`],
-//!   [`Ilu0Preconditioner`] (level-scheduled parallel triangular sweeps)
-//!   and [`MulticolorGsPreconditioner`] implementations
-//!   ([`PreconditionerKind`] is the config-level selection knob),
-//!   threaded through both Krylov solvers;
+//!   [`Ilu0Preconditioner`] (level-scheduled parallel triangular sweeps),
+//!   [`MulticolorGsPreconditioner`] and [`MultigridPreconditioner`]
+//!   (geometric V-cycles on the semi-coarsened grid hierarchy,
+//!   [`MgStructure`]) implementations ([`PreconditionerKind`] is the
+//!   config-level selection knob), threaded through both Krylov solvers;
 //! * [`KernelPool`], a persistent worker pool running the matvecs,
 //!   reductions and sweeps with **bit-identical results at every thread
 //!   count** (`VFC_NUM_THREADS`; determinism by partitioning), plus
@@ -58,6 +59,7 @@ mod cg;
 mod dense;
 mod error;
 pub mod lstsq;
+mod multigrid;
 mod operator;
 mod pool;
 mod precond;
@@ -69,8 +71,9 @@ mod workspace;
 
 pub use self::bicgstab::BiCgStab;
 pub use self::cg::ConjugateGradient;
-pub use self::dense::DenseMatrix;
+pub use self::dense::{DenseMatrix, LuFactors};
 pub use self::error::NumError;
+pub use self::multigrid::{MgStructure, MultigridPreconditioner};
 pub use self::operator::{CsrOp, LinearOperator, OperatorBackend, BACKEND_ENV};
 pub use self::pool::{KernelPool, PoolCounters, PAR_MIN_LEN, THREADS_ENV};
 pub use self::precond::{
@@ -79,7 +82,7 @@ pub use self::precond::{
 };
 pub use self::schedule::{ColorSchedule, KernelSchedules, TriangularLevels};
 pub use self::sparse::{CsrBuilder, CsrMatrix};
-pub use self::stencil::{StencilOp, StencilPattern};
+pub use self::stencil::{GridCoord, StencilOp, StencilPattern};
 pub use self::workspace::SolverWorkspace;
 
 /// Convergence report returned by the iterative solvers.

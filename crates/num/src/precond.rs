@@ -52,6 +52,13 @@ pub trait Preconditioner: std::fmt::Debug + Send + Sync {
     fn barriers_per_apply(&self) -> usize {
         0
     }
+
+    /// Composite-cycle count (V-cycles for multigrid) performed so far;
+    /// `None` for preconditioners without an internal cycle notion. The
+    /// smoke gates use this to pin cycles-per-solve.
+    fn cycles(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// No preconditioning: `z = r`.
@@ -549,24 +556,21 @@ impl Ilu0Preconditioner {
     ///
     /// # Errors
     ///
-    /// As [`new`](Self::new).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `schedules` was computed for a different sparsity
-    /// pattern than `a`'s — foreign level sets would turn the parallel
-    /// sweeps into data races, so the mismatch is rejected up front
-    /// (pointer-equality fast path for structure-shared families).
+    /// As [`new`](Self::new); additionally
+    /// [`NumError::PatternMismatch`] if `schedules` was computed for a
+    /// different sparsity pattern than `a`'s — foreign level sets would
+    /// turn the parallel sweeps into data races, so the mismatch is
+    /// rejected up front (pointer-equality fast path for
+    /// structure-shared families).
     pub fn new_on(
         a: &CsrMatrix,
         pool: Arc<KernelPool>,
         schedules: Option<Arc<KernelSchedules>>,
     ) -> Result<Self, NumError> {
         if let Some(s) = &schedules {
-            assert!(
-                s.matches_pattern(a),
-                "ilu0: schedules were computed for a different sparsity pattern"
-            );
+            if !s.matches_pattern(a) {
+                return Err(NumError::PatternMismatch { context: "ilu0" });
+            }
         }
         let n = a.order();
         // Shares row_ptr/col_idx with `a`; only the values are owned.
@@ -1002,14 +1006,11 @@ impl MulticolorGsPreconditioner {
     ///
     /// # Errors
     ///
-    /// As [`new`](Self::new).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `schedules` was computed for a different sparsity
-    /// pattern than `a`'s — a foreign coloring would let same-phase
-    /// rows share unknowns, turning the parallel sweep into a data
-    /// race, so the mismatch is rejected up front.
+    /// As [`new`](Self::new); additionally
+    /// [`NumError::PatternMismatch`] if `schedules` was computed for a
+    /// different sparsity pattern than `a`'s — a foreign coloring would
+    /// let same-phase rows share unknowns, turning the parallel sweep
+    /// into a data race, so the mismatch is rejected up front.
     pub fn new_on(
         a: &CsrMatrix,
         pool: Arc<KernelPool>,
@@ -1018,10 +1019,11 @@ impl MulticolorGsPreconditioner {
         let n = a.order();
         let colors = match &schedules {
             Some(s) => {
-                assert!(
-                    s.matches_pattern(a),
-                    "multicolor-gs: schedules were computed for a different sparsity pattern"
-                );
+                if !s.matches_pattern(a) {
+                    return Err(NumError::PatternMismatch {
+                        context: "multicolor-gs",
+                    });
+                }
                 s.colors.clone()
             }
             None => crate::ColorSchedule::for_matrix(a),
@@ -1196,6 +1198,16 @@ pub enum PreconditionerKind {
     Ilu0,
     /// Symmetric Gauss–Seidel in multicolor order.
     MulticolorGs,
+    /// Geometric multigrid V-cycle on the semi-coarsened grid hierarchy,
+    /// with ILU(0) smoothing and a dense-LU coarsest solve. Requires
+    /// schedules built with grid coordinates
+    /// ([`KernelSchedules::for_grid_matrix`]); falls back to [`Ilu0`]
+    /// (bit-identical to selecting it directly) when no hierarchy is
+    /// available — patterns without grid coordinates, or systems already
+    /// coarsest-sized.
+    ///
+    /// [`Ilu0`]: Self::Ilu0
+    Multigrid,
 }
 
 impl PreconditionerKind {
@@ -1234,6 +1246,19 @@ impl PreconditionerKind {
                 pool,
                 schedules.cloned(),
             )?),
+            PreconditionerKind::Multigrid => {
+                match schedules.and_then(|s| s.multigrid().cloned()) {
+                    Some(structure) => Box::new(crate::MultigridPreconditioner::new_on(
+                        a,
+                        pool,
+                        schedules.cloned(),
+                        structure,
+                    )?),
+                    // No hierarchy (no grid coordinates, or the system
+                    // is already coarsest-sized): single-level ILU(0).
+                    None => Box::new(Ilu0Preconditioner::new_on(a, pool, schedules.cloned())?),
+                }
+            }
         })
     }
 }
@@ -1537,30 +1562,58 @@ mod tests {
             .all(|(g, w)| g.to_bits() == w.to_bits()));
     }
 
-    #[test]
-    #[should_panic(expected = "different sparsity pattern")]
-    fn ilu0_rejects_foreign_schedules() {
-        // Same order, different pattern: running level sweeps against
-        // these schedules would race, so the build must refuse.
-        let a = tridiag(6);
+    /// Same order as [`tridiag`]`(6)`, different pattern (diagonal
+    /// only): schedules computed from it are foreign to the tridiagonal
+    /// matrix.
+    fn foreign_schedules() -> Arc<KernelSchedules> {
         let mut b = CsrBuilder::new(6);
         for i in 0..6 {
             b.add(i, i, 1.0);
         }
-        let foreign = Arc::new(KernelSchedules::for_matrix(&b.build()));
-        let _ = Ilu0Preconditioner::new_on(&a, KernelPool::new(1), Some(foreign));
+        Arc::new(KernelSchedules::for_matrix(&b.build()))
     }
 
     #[test]
-    #[should_panic(expected = "different sparsity pattern")]
+    fn ilu0_rejects_foreign_schedules() {
+        // Running level sweeps against these schedules would race, so
+        // the build must refuse — with an error, not a panic, so the
+        // thermal layer can surface it.
+        let a = tridiag(6);
+        assert!(matches!(
+            Ilu0Preconditioner::new_on(&a, KernelPool::new(1), Some(foreign_schedules())),
+            Err(NumError::PatternMismatch { context: "ilu0" })
+        ));
+    }
+
+    #[test]
     fn multicolor_gs_rejects_foreign_schedules() {
         let a = tridiag(6);
-        let mut b = CsrBuilder::new(6);
-        for i in 0..6 {
-            b.add(i, i, 1.0);
+        assert!(matches!(
+            MulticolorGsPreconditioner::new_on(&a, KernelPool::new(1), Some(foreign_schedules())),
+            Err(NumError::PatternMismatch {
+                context: "multicolor-gs"
+            })
+        ));
+    }
+
+    #[test]
+    fn build_on_surfaces_the_mismatch_error_for_every_kind() {
+        // The config-level path must propagate the same error (the
+        // thermal model calls build_on, never the builders directly).
+        let a = tridiag(6);
+        for kind in [
+            PreconditionerKind::Ilu0,
+            PreconditionerKind::MulticolorGs,
+            PreconditionerKind::Multigrid,
+        ] {
+            assert!(
+                matches!(
+                    kind.build_on(&a, KernelPool::new(1), Some(&foreign_schedules())),
+                    Err(NumError::PatternMismatch { .. })
+                ),
+                "{kind:?} must reject foreign schedules with an error"
+            );
         }
-        let foreign = Arc::new(KernelSchedules::for_matrix(&b.build()));
-        let _ = MulticolorGsPreconditioner::new_on(&a, KernelPool::new(1), Some(foreign));
     }
 
     #[test]

@@ -239,6 +239,10 @@ pub struct KernelSchedules {
     /// The run/class decomposition of the pattern for the index-free
     /// stencil backend (`None` on patterns too irregular to pay off).
     stencil: Option<std::sync::Arc<crate::StencilPattern>>,
+    /// The geometric multigrid hierarchy of the pattern (`None` unless
+    /// built via [`for_grid_matrix`](Self::for_grid_matrix) with grid
+    /// coordinates, or when no useful hierarchy exists).
+    multigrid: Option<std::sync::Arc<crate::MgStructure>>,
     /// The source pattern (shared index arrays, not a copy).
     row_ptr: std::sync::Arc<[u32]>,
     col_idx: std::sync::Arc<[u32]>,
@@ -253,15 +257,37 @@ impl KernelSchedules {
             levels: TriangularLevels::for_matrix(a),
             colors: ColorSchedule::for_matrix(a),
             stencil: crate::StencilPattern::for_matrix(a).map(std::sync::Arc::new),
+            multigrid: None,
             row_ptr,
             col_idx,
         }
+    }
+
+    /// As [`for_matrix`](Self::for_matrix), plus the geometric multigrid
+    /// hierarchy built by semi-coarsening one
+    /// [`GridCoord`](crate::stencil::GridCoord) per unknown — the
+    /// constructor for assemblers that know their grid layout (the
+    /// thermal skeleton, the reduced TALB system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != a.order()`.
+    pub fn for_grid_matrix(a: &CsrMatrix, coords: &[crate::stencil::GridCoord]) -> Self {
+        let mut schedules = Self::for_matrix(a);
+        schedules.multigrid = crate::MgStructure::build(a, coords).map(std::sync::Arc::new);
+        schedules
     }
 
     /// The pattern's stencil decomposition, when the structure is
     /// regular enough for the index-free backend to pay off.
     pub fn stencil(&self) -> Option<&std::sync::Arc<crate::StencilPattern>> {
         self.stencil.as_ref()
+    }
+
+    /// The pattern's multigrid hierarchy, when the schedules were built
+    /// from grid coordinates and coarsening made progress.
+    pub fn multigrid(&self) -> Option<&std::sync::Arc<crate::MgStructure>> {
+        self.multigrid.as_ref()
     }
 
     /// Whether these schedules were computed for `a`'s sparsity pattern.

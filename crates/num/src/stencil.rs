@@ -37,6 +37,66 @@ use crate::{CsrMatrix, KernelPool};
 /// saves, and [`StencilPattern::for_matrix`] returns `None`.
 pub const MIN_MEAN_RUN: usize = 4;
 
+/// Logical position of one unknown in the layered 3-D grid the stencil
+/// patterns come from: `layer` indexes the z stack (tier, cavity,
+/// spreader or sink plane — whatever the assembler laid out), `row` and
+/// `col` the in-plane cell.
+///
+/// The multigrid hierarchy coarsens these coordinates geometrically
+/// ([`semicoarsen`]); the assembler that knows the node layout produces
+/// one coordinate per unknown and everything downstream is layout
+/// agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GridCoord {
+    /// z-plane index. Planes are never merged by coarsening: the z
+    /// direction carries the strong tier/cavity couplings of a stacked
+    /// die, and semi-coarsening keeps them resolved.
+    pub layer: u32,
+    /// In-plane row.
+    pub row: u32,
+    /// In-plane column.
+    pub col: u32,
+}
+
+impl GridCoord {
+    /// This node's aggregate position under in-plane 2× semi-coarsening:
+    /// `(layer, row/2, col/2)`. Layers are preserved (see
+    /// [`layer`](Self::layer)).
+    #[inline]
+    pub fn semicoarsened(self) -> GridCoord {
+        GridCoord {
+            layer: self.layer,
+            row: self.row / 2,
+            col: self.col / 2,
+        }
+    }
+}
+
+/// In-plane 2× semi-coarsening of a coordinate set.
+///
+/// Returns the fine→coarse aggregate map (`agg[i]` is the coarse index
+/// of fine node `i`) and the coarse coordinates, ordered
+/// lexicographically by `(layer, row, col)` — a deterministic ordering
+/// that depends only on the input coordinates, never on traversal or
+/// thread count. Every fine node lands in exactly one aggregate of at
+/// most four in-plane neighbours; odd extents leave one-wide remainder
+/// aggregates at the high edges, and holes in the fine set (e.g. the
+/// reduced TALB system) simply make smaller aggregates.
+pub fn semicoarsen(coords: &[GridCoord]) -> (Vec<u32>, Vec<GridCoord>) {
+    let mut coarse: Vec<GridCoord> = coords.iter().map(|c| c.semicoarsened()).collect();
+    coarse.sort_unstable();
+    coarse.dedup();
+    let agg = coords
+        .iter()
+        .map(|c| {
+            coarse
+                .binary_search(&c.semicoarsened())
+                .expect("own aggregate is present") as u32
+        })
+        .collect();
+    (agg, coarse)
+}
+
 /// Largest per-row entry count with a fully unrolled kernel; longer
 /// rows use the generic loop.
 const MAX_UNROLL: usize = 16;

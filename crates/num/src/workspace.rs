@@ -105,6 +105,38 @@ impl SolverWorkspace {
     }
 }
 
+/// Per-level scratch for the multigrid V-cycle, preallocated at
+/// preconditioner build time so `apply` stays allocation-free (the same
+/// contract the Krylov workspace gives the solvers).
+///
+/// Indexing follows the hierarchy: `r`/`z` hold the restricted residual
+/// and the correction of each **coarse** level (`r[l]` belongs to level
+/// `l + 1` of the hierarchy, the fine level's residual and correction
+/// being the caller's `r`/`z` slices); `t`/`s` hold the residual and
+/// smoother output of every level that smooths (all but the coarsest).
+#[derive(Debug, Default)]
+pub(crate) struct MgScratch {
+    pub r: Vec<Vec<f64>>,
+    pub z: Vec<Vec<f64>>,
+    pub t: Vec<Vec<f64>>,
+    pub s: Vec<Vec<f64>>,
+}
+
+impl MgScratch {
+    /// Builds scratch for a hierarchy whose level orders (fine first,
+    /// coarsest last) are `orders`.
+    pub fn for_orders(orders: &[usize]) -> Self {
+        let coarse = &orders[1..];
+        let smoothed = &orders[..orders.len() - 1];
+        Self {
+            r: coarse.iter().map(|&n| vec![0.0; n]).collect(),
+            z: coarse.iter().map(|&n| vec![0.0; n]).collect(),
+            t: smoothed.iter().map(|&n| vec![0.0; n]).collect(),
+            s: smoothed.iter().map(|&n| vec![0.0; n]).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

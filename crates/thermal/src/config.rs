@@ -20,8 +20,11 @@ pub struct SolverConfig {
     pub tolerance: f64,
     /// Iteration cap before the solve fails.
     pub max_iterations: usize,
-    /// Preconditioner applied on every Krylov iteration
-    /// (default: ILU(0), the fine-grid workhorse).
+    /// Preconditioner applied on every Krylov iteration (default:
+    /// ILU(0), the fine-grid workhorse). [`PreconditionerKind::Multigrid`]
+    /// runs geometric V-cycles on the semi-coarsened hierarchy every
+    /// skeleton carries and keeps iteration counts nearly
+    /// resolution-independent — the pick for 100 µm grids and below.
     pub preconditioner: PreconditionerKind,
     /// Operator backend the Krylov matvecs run on (default:
     /// [`OperatorBackend::Stencil`], falling back to CSR on patterns too

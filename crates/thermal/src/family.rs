@@ -451,6 +451,65 @@ mod tests {
     }
 
     #[test]
+    fn set_flow_multigrid_solves_match_a_from_scratch_build() {
+        // Patch identity must cover the whole coarsening hierarchy: the
+        // Galerkin re-fold runs off the patched fine values, so a model
+        // re-pointed at a new flow with `set_flow` and a model built
+        // from scratch at that flow must produce bit-identical
+        // multigrid-preconditioned solves.
+        let stack = ultrasparc::two_layer_liquid();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
+        let mut config = ThermalConfig::default();
+        config.solver.preconditioner = vfc_num::PreconditionerKind::Multigrid;
+        let builder = StackThermalBuilder::new(&stack, grid, config);
+        let f1 = VolumetricFlow::from_ml_per_minute(300.0);
+        let f2 = VolumetricFlow::from_ml_per_minute(700.0);
+
+        let mut patched = builder.build(Some(f1)).unwrap();
+        assert!(
+            patched.skeleton().schedules().multigrid().is_some(),
+            "the stacked grid must carry a coarsening hierarchy"
+        );
+        let mut power = patched.zero_power();
+        for (i, p) in power.iter_mut().enumerate() {
+            *p = 0.02 + 0.01 * ((i % 7) as f64);
+        }
+        // Solve at f1 first so the f2 solves below exercise the
+        // invalidation path, not a fresh model's first factorization.
+        let _ = patched.steady_state(&power, None).unwrap();
+        patched.set_flow(f2).unwrap();
+        let t_patched = patched.steady_state(&power, None).unwrap();
+
+        let mut fresh = builder.build(Some(f2)).unwrap();
+        let t_fresh = fresh.steady_state(&power, None).unwrap();
+        assert!(
+            t_patched
+                .iter()
+                .zip(&t_fresh)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "steady multigrid solve after set_flow diverged from a fresh build"
+        );
+
+        // Same property through the transient path (backward-Euler
+        // operator, its own hierarchy re-fold).
+        let mut s_patched = patched.initial_state();
+        let mut s_fresh = fresh.initial_state();
+        let dt = vfc_units::Seconds::new(0.1);
+        for _ in 0..3 {
+            patched.step(&mut s_patched, &power, dt, 5).unwrap();
+            fresh.step(&mut s_fresh, &power, dt, 5).unwrap();
+        }
+        assert!(
+            s_patched
+                .iter()
+                .zip(&s_fresh)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "transient multigrid stepping after set_flow diverged from a fresh build"
+        );
+    }
+
+    #[test]
     fn liquid_skeleton_decomposes_into_a_stencil_and_shares_it() {
         let stack = ultrasparc::two_layer_liquid();
         let grid =

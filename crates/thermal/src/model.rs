@@ -106,6 +106,57 @@ impl NodeLayout {
     pub fn block_cell_count(&self, tier: usize, block: usize) -> usize {
         self.tier_block_cell_counts[tier][block]
     }
+
+    /// One [`vfc_num::GridCoord`] per node, in node order — the
+    /// geometric view the multigrid coarsening works from.
+    ///
+    /// Every physical layer (tier, cavity, spreader) gets its own
+    /// `layer` index; the lumped sink becomes a one-cell layer of its
+    /// own. Only distinctness matters: the semi-coarsening merges 2×2
+    /// in-plane patches and never across layers, so tiers and cavities
+    /// keep their identity on every coarse level.
+    pub fn grid_coords(&self) -> Vec<vfc_num::GridCoord> {
+        let mut coords = vec![
+            vfc_num::GridCoord {
+                layer: 0,
+                row: 0,
+                col: 0
+            };
+            self.node_count
+        ];
+        let mut layer = 0u32;
+        let fill_plane = |coords: &mut Vec<vfc_num::GridCoord>, offset: usize, layer: u32| {
+            for row in 0..self.rows {
+                for col in 0..self.cols {
+                    coords[offset + row * self.cols + col] = vfc_num::GridCoord {
+                        layer,
+                        row: row as u32,
+                        col: col as u32,
+                    };
+                }
+            }
+        };
+        for &off in &self.tier_offsets {
+            fill_plane(&mut coords, off, layer);
+            layer += 1;
+        }
+        for &(_, off) in &self.cavities {
+            fill_plane(&mut coords, off, layer);
+            layer += 1;
+        }
+        if let Some(off) = self.spreader_offset {
+            fill_plane(&mut coords, off, layer);
+            layer += 1;
+        }
+        if let Some(sink) = self.sink_node {
+            coords[sink] = vfc_num::GridCoord {
+                layer,
+                row: 0,
+                col: 0,
+            };
+        }
+        coords
+    }
 }
 
 /// Cached backward-Euler operator for one sub-step length.

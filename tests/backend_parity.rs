@@ -1,10 +1,12 @@
 //! Operator-backend parity at the outermost observable surface: a full
 //! simulation must produce an **identical** `SimReport` on the
-//! index-free stencil backend and the CSR reference — and the backend
-//! must not perturb cache keys, since bit-identical results make it a
-//! pure execution knob.
+//! index-free stencil backend and the CSR reference — across every
+//! preconditioner (ILU(0), multicolor-GS, geometric multigrid) and
+//! thread count — and the backend must not perturb cache keys, since
+//! bit-identical results make it a pure execution knob.
 
-use vfc::num::OperatorBackend;
+use proptest::prelude::*;
+use vfc::num::{KernelPool, OperatorBackend, PreconditionerKind};
 use vfc::prelude::*;
 use vfc::workload::Benchmark;
 
@@ -49,6 +51,84 @@ fn full_reports_are_identical_across_backends() {
             stencil, csr,
             "{policy:?}/{cooling:?}: backends must agree on every report field"
         );
+    }
+}
+
+/// One cell of the parity matrix: a full run with an explicit
+/// preconditioner, backend and kernel-pool thread count.
+fn run_matrix_cell(
+    kind: PreconditionerKind,
+    backend: OperatorBackend,
+    threads: usize,
+    cooling: CoolingKind,
+) -> SimReport {
+    let mut cfg = config(backend, PolicyKind::Talb, cooling);
+    cfg.duration = Seconds::new(2.0);
+    cfg.grid_cell = Length::from_millimeters(2.0);
+    cfg.thermal.solver.preconditioner = kind;
+    let mut sim = Simulation::new(cfg).expect("build");
+    sim.set_kernel_pool(&KernelPool::new(threads));
+    sim.run().expect("run")
+}
+
+#[test]
+fn multigrid_reports_match_across_backends_and_thread_counts() {
+    // The new preconditioner joins the same contract the backends
+    // already honour: every (backend, threads) cell of the matrix is
+    // bit-identical, so Multigrid is an execution-quality knob, not a
+    // result knob.
+    assert!(OperatorBackend::env_override().is_none());
+    let cooling = CoolingKind::LiquidVariable;
+    let reference = run_matrix_cell(
+        PreconditionerKind::Multigrid,
+        OperatorBackend::Stencil,
+        1,
+        cooling,
+    );
+    for backend in [OperatorBackend::Stencil, OperatorBackend::Csr] {
+        for threads in [1usize, 2, 4] {
+            let got = run_matrix_cell(PreconditionerKind::Multigrid, backend, threads, cooling);
+            assert_eq!(
+                got, reference,
+                "multigrid/{backend:?}/{threads} threads diverged from stencil/1"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        .. ProptestConfig::default()
+    })]
+
+    /// The full preconditioner × backend × thread-count matrix, sampled:
+    /// whichever preconditioner and flow regime come up, Stencil and CSR
+    /// must agree bit-for-bit at 1, 2 and 4 threads.
+    #[test]
+    fn preconditioner_backend_thread_matrix(
+        kind in prop_oneof![
+            Just(PreconditionerKind::Ilu0),
+            Just(PreconditionerKind::MulticolorGs),
+            Just(PreconditionerKind::Multigrid),
+        ],
+        flow_idx in 0usize..5,
+    ) {
+        let cooling = CoolingKind::LiquidFixed(FlowSetting::from_index(flow_idx));
+        let reference = run_matrix_cell(kind, OperatorBackend::Stencil, 1, cooling);
+        for backend in [OperatorBackend::Stencil, OperatorBackend::Csr] {
+            for threads in [1usize, 2, 4] {
+                let got = run_matrix_cell(kind, backend, threads, cooling);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "{:?}/{:?}/{} threads diverged",
+                    kind,
+                    backend,
+                    threads
+                );
+            }
+        }
     }
 }
 

@@ -4,9 +4,14 @@
 //! iteration spends the rest of its time in — the numbers that explain
 //! (or debunk) an end-to-end transient speedup.
 //!
-//! Usage: `kernel_probe [cell_mm]` (default 0.1, the paper's grid)
-
-use std::time::Instant;
+//! The probe is a thin client of the `vfc_obs` span layer: every rep
+//! runs inside an RAII span and the table is printed straight from the
+//! registry snapshot's per-span mean — so this binary doubles as an
+//! end-to-end exercise of the telemetry path (`kernel_probe
+//! [--telemetry <path>]` also exports the snapshot as JSON).
+//!
+//! Usage: `kernel_probe [cell_mm] [--telemetry <path>]`
+//! (default cell 0.1 mm, the paper's grid)
 
 use vfc::floorplan::{ultrasparc, GridSpec};
 use vfc::num::{
@@ -14,14 +19,16 @@ use vfc::num::{
 };
 use vfc::thermal::{StackThermalBuilder, ThermalConfig};
 use vfc::units::{Length, VolumetricFlow, Watts};
+use vfc_bench::telemetry::{export_snapshot, parse_telemetry_flag};
 
-fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
-    let t0 = Instant::now();
+/// Runs `f` once to warm up, then `reps` times under a span named
+/// `name` — the timings land in the global registry, not a local.
+fn probe(name: &'static str, reps: usize, mut f: impl FnMut()) {
+    f();
     for _ in 0..reps {
+        let _span = vfc::obs::span(name);
         f();
     }
-    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
 }
 
 fn main() {
@@ -29,6 +36,12 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse::<f64>().ok())
         .unwrap_or(0.1);
+    let telemetry = parse_telemetry_flag();
+    // The probe *is* a span consumer — it needs the span layer live
+    // regardless of VFC_TELEMETRY (reps are spans; off would time
+    // nothing).
+    vfc::obs::set_level(vfc::obs::TelemetryLevel::Spans);
+
     let stack = ultrasparc::two_layer_liquid();
     let grid =
         GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
@@ -61,12 +74,21 @@ fn main() {
         pat.class_count()
     );
 
+    // Model-building above already recorded setup spans
+    // (thermal.steady etc.); drop them so the table below holds
+    // exactly the probed kernels.
+    vfc::obs::reset();
+
     let mut y = vec![0.0; n];
-    let csr_mv = time_ms(reps, || a.matvec_into(&x, &mut y));
+    probe("kernel.csr_matvec", reps, || a.matvec_into(&x, &mut y));
     let op = StencilOp::new(&pat, a.values());
-    let st_mv = time_ms(reps, || op.matvec_into_on(&pool, &x, &mut y));
+    probe("kernel.stencil_matvec", reps, || {
+        op.matvec_into_on(&pool, &x, &mut y)
+    });
     let mut r = vec![0.0; n];
-    let st_res = time_ms(reps, || op.residual_into_on(&pool, &p, &x, &mut r));
+    probe("kernel.stencil_residual", reps, || {
+        op.residual_into_on(&pool, &p, &x, &mut r)
+    });
 
     let seq = Ilu0Preconditioner::new_on(&a, KernelPool::new(1), None).expect("ilu");
     let sch = Ilu0Preconditioner::new_on(
@@ -76,36 +98,45 @@ fn main() {
     )
     .expect("ilu");
     let mut z = vec![0.0; n];
-    let ilu_idx = time_ms(reps, || seq.apply(&r, &mut z));
-    let ilu_st = time_ms(reps, || sch.apply(&r, &mut z));
+    probe("kernel.ilu0_apply_indexed", reps, || seq.apply(&r, &mut z));
+    probe("kernel.ilu0_apply_stencil", reps, || sch.apply(&r, &mut z));
 
     let mut partials = Vec::new();
-    let nrm = time_ms(reps, || {
+    probe("kernel.norm2", reps, || {
         std::hint::black_box(norm2_on(&pool, &r, &mut partials));
     });
     let mut w = vec![0.0; n];
-    let axpy = time_ms(reps, || {
+    probe("kernel.axpy", reps, || {
         for i in 0..n {
             w[i] += 0.5 * r[i];
         }
         std::hint::black_box(&w);
     });
 
-    println!("{:>28} {:>10}", "kernel", "ms");
-    for (name, ms) in [
-        ("csr matvec", csr_mv),
-        ("stencil matvec", st_mv),
-        ("stencil fused residual", st_res),
-        ("ilu0 apply (indexed)", ilu_idx),
-        ("ilu0 apply (stencil)", ilu_st),
-        ("norm2", nrm),
-        ("axpy pass", axpy),
+    let snap = vfc::obs::snapshot();
+    let mean = |name: &str| {
+        snap.stat(&format!("span.{name}"))
+            .map_or(0.0, vfc::obs::Stat::mean_ms)
+    };
+    println!("{:>28} {:>10} {:>6}", "kernel", "mean ms", "reps");
+    for (label, name) in [
+        ("csr matvec", "kernel.csr_matvec"),
+        ("stencil matvec", "kernel.stencil_matvec"),
+        ("stencil fused residual", "kernel.stencil_residual"),
+        ("ilu0 apply (indexed)", "kernel.ilu0_apply_indexed"),
+        ("ilu0 apply (stencil)", "kernel.ilu0_apply_stencil"),
+        ("norm2", "kernel.norm2"),
+        ("axpy pass", "kernel.axpy"),
     ] {
-        println!("{name:>28} {ms:>10.4}");
+        let stat = snap.stat(&format!("span.{name}")).expect("probed span");
+        println!("{label:>28} {:>10.4} {:>6}", stat.mean_ms(), stat.count);
     }
     println!(
         "matvec speedup {:.2}x, sweep speedup {:.2}x",
-        csr_mv / st_mv,
-        ilu_idx / ilu_st
+        mean("kernel.csr_matvec") / mean("kernel.stencil_matvec").max(1e-12),
+        mean("kernel.ilu0_apply_indexed") / mean("kernel.ilu0_apply_stencil").max(1e-12)
     );
+    if let Some(path) = &telemetry {
+        export_snapshot(path);
+    }
 }

@@ -17,6 +17,7 @@
 //! and gates on the second pass being warm.
 
 use vfc::prelude::*;
+use vfc_bench::telemetry::{enable_for_export, export_snapshot};
 
 fn usage_text() -> &'static str {
     "usage: sweep [--smoke] [axes] [options]
@@ -41,6 +42,9 @@ options:
   --cache-dir <path>        on-disk cache location
   --min-hit-rate <pct>      exit 1 if the cache hit rate is below <pct>
   --smoke                   the quick 2x2x2 CI preset (2 s, 2 mm grid)
+  --telemetry <path>        write a vfc_obs JSON snapshot to <path>
+                            (raises VFC_TELEMETRY to `spans` unless the
+                            env var already chose a level)
   --quiet                   suppress per-job progress on stderr"
 }
 
@@ -95,6 +99,7 @@ fn main() {
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
     let mut min_hit_rate: Option<f64> = None;
+    let mut telemetry: Option<std::path::PathBuf> = None;
     let mut quiet = false;
 
     let mut i = 0;
@@ -178,6 +183,7 @@ fn main() {
                         .unwrap_or_else(|_| fail("bad --min-hit-rate")),
                 );
             }
+            "--telemetry" => telemetry = Some(next_value(&mut i).into()),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{}", usage_text());
@@ -186,6 +192,10 @@ fn main() {
             other => fail(&format!("unknown flag `{other}`")),
         }
         i += 1;
+    }
+
+    if telemetry.is_some() {
+        enable_for_export();
     }
 
     let executor = match threads {
@@ -218,9 +228,14 @@ fn main() {
         },
     );
 
+    let sweep_start = std::time::Instant::now();
     let results = runner.try_run_with_progress(configs, |p| {
         if !quiet {
-            eprintln!("  [{}/{}] done", p.completed, p.total);
+            // ETA from the batch-mean job time so far — the same
+            // estimate exported as the `runner.eta_seconds` gauge.
+            let elapsed = sweep_start.elapsed().as_secs_f64();
+            let eta = elapsed / p.completed as f64 * (p.total - p.completed) as f64;
+            eprintln!("  [{}/{}] done, ~{eta:.0}s left", p.completed, p.total);
         }
     });
 
@@ -251,13 +266,18 @@ fn main() {
 
     let stats = runner.stats();
     println!(
-        "\njobs={} cache_hits={} executed={} failures={} hit_rate={:.1}%",
+        "\njobs={} cache_hits={} executed={} failures={} evictions={} hit_rate={:.1}%",
         stats.jobs,
         stats.cache_hits,
         stats.executed,
         stats.failures,
+        stats.cache_evictions,
         100.0 * stats.hit_rate(),
     );
+
+    if let Some(path) = &telemetry {
+        export_snapshot(path);
+    }
 
     if failures > 0 {
         std::process::exit(1);

@@ -13,7 +13,8 @@
 //! measurable without wall-clock.
 //!
 //! Usage: `transient_bench [--fine] [--threads 1,2,8] [--no-seed]
-//!                         [--backend stencil|csr|both] [--gate-iters]`
+//!                         [--backend stencil|csr|both] [--gate-iters]
+//!                         [--telemetry <path>]`
 //!   `--fine`       adds the paper-native 100 µm grid (~58k nodes)
 //!   `--threads`    comma-separated pool sizes (default: 1 and the
 //!                  machine's available parallelism, when that is > 1)
@@ -24,6 +25,9 @@
 //!                  equals the committed repo-root `BENCH_transient.json`
 //!                  record for the same case/grid — iteration counts are
 //!                  bit-deterministic, so any machine can gate exactly
+//!   `--telemetry`  write a `vfc_obs` JSON snapshot to the given path
+//!                  (raises `VFC_TELEMETRY` to `spans` unless the env
+//!                  var already chose a level)
 //!
 //! Writes repo-root `BENCH_transient.json` plus a `target/bench/` copy
 //! (see `vfc_bench::perf`).
@@ -37,8 +41,10 @@ use vfc::num::{
 use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
 use vfc_bench::perf::{
-    precond_label, read_bench_records, report_bench_records, root_record_path, PerfRecord,
+    backend_label, cpu_count, host_label, precond_label, read_bench_records, report_bench_records,
+    root_record_path, PerfRecord,
 };
+use vfc_bench::telemetry::{enable_for_export, export_snapshot, parse_telemetry_flag};
 
 /// Samples timed per (grid, backend, threads) cell.
 const SAMPLES: usize = 10;
@@ -82,13 +88,6 @@ fn parse_backends() -> Vec<OperatorBackend> {
             eprintln!("--backend expects stencil, csr or both");
             std::process::exit(2);
         }
-    }
-}
-
-fn backend_label(b: OperatorBackend) -> &'static str {
-    match b {
-        OperatorBackend::Stencil => "stencil",
-        OperatorBackend::Csr => "csr",
     }
 }
 
@@ -137,6 +136,10 @@ fn main() {
     let gate = std::env::args().any(|a| a == "--gate-iters");
     let threads = parse_threads();
     let backends = parse_backends();
+    let telemetry = parse_telemetry_flag();
+    if telemetry.is_some() {
+        enable_for_export();
+    }
     // Read the committed record BEFORE this run overwrites it.
     let committed = if gate {
         let path = root_record_path("transient");
@@ -284,6 +287,9 @@ fn main() {
                         threads: t,
                         ms,
                         iters,
+                        backend: backend_label(model.operator_backend()).into(),
+                        host: host_label(),
+                        cpus: cpu_count(),
                     });
                 }
             }
@@ -312,6 +318,9 @@ fn main() {
     println!(" a converged sample costs one matvec and two norms instead; backends and");
     println!(" thread counts are cross-checked bit-identical before timings are reported)");
     report_bench_records("transient", &records);
+    if let Some(path) = &telemetry {
+        export_snapshot(path);
+    }
     if gate {
         assert_eq!(
             gate_failures, 0,

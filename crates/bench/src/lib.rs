@@ -11,6 +11,7 @@
 
 pub mod figures;
 pub mod perf;
+pub mod telemetry;
 
 use std::sync::OnceLock;
 

@@ -41,6 +41,15 @@ pub struct PerfRecord {
     /// require exact equality. `0` when the scenario does not track
     /// iterations.
     pub iters: usize,
+    /// Operator backend the measurement ran with (`stencil` / `csr`,
+    /// empty when the scenario has no operator).
+    pub backend: String,
+    /// Hostname the measurement was taken on, best effort
+    /// ([`host_label`]) — provenance only, never compared by gates.
+    pub host: String,
+    /// Logical CPU count of the measuring machine, best effort
+    /// ([`cpu_count`]) — provenance only, never compared by gates.
+    pub cpus: usize,
 }
 
 impl PerfRecord {
@@ -53,6 +62,9 @@ impl PerfRecord {
             ("threads".into(), JsonValue::Number(self.threads as f64)),
             ("ms".into(), JsonValue::Number(self.ms)),
             ("iters".into(), JsonValue::Number(self.iters as f64)),
+            ("backend".into(), JsonValue::String(self.backend.clone())),
+            ("host".into(), JsonValue::String(self.host.clone())),
+            ("cpus".into(), JsonValue::Number(self.cpus as f64)),
         ])
     }
 
@@ -74,6 +86,10 @@ impl PerfRecord {
             ms: n("ms")?,
             // Absent in pre-PR 5 records: treat as "not tracked".
             iters: n("iters").unwrap_or(0.0) as usize,
+            // Provenance fields are absent in pre-PR 7 records.
+            backend: s("backend").unwrap_or_default(),
+            host: s("host").unwrap_or_default(),
+            cpus: n("cpus").unwrap_or(0.0) as usize,
         })
     }
 }
@@ -90,6 +106,40 @@ pub fn precond_label(kind: vfc::num::PreconditionerKind) -> &'static str {
         PreconditionerKind::MulticolorGs => "mcgs",
         PreconditionerKind::Multigrid => "mg",
     }
+}
+
+/// The canonical short label for an operator backend in perf records
+/// and bench tables.
+pub fn backend_label(b: vfc::num::OperatorBackend) -> &'static str {
+    match b {
+        vfc::num::OperatorBackend::Stencil => "stencil",
+        vfc::num::OperatorBackend::Csr => "csr",
+    }
+}
+
+/// Best-effort hostname for record provenance: `HOSTNAME` env var,
+/// then `/etc/hostname`, then `"unknown"`. Never fails — provenance
+/// must not be able to break a bench run.
+pub fn host_label() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        let h = h.trim().to_string();
+        if !h.is_empty() {
+            return h;
+        }
+    }
+    if let Ok(h) = std::fs::read_to_string("/etc/hostname") {
+        let h = h.trim().to_string();
+        if !h.is_empty() {
+            return h;
+        }
+    }
+    "unknown".into()
+}
+
+/// Best-effort logical CPU count for record provenance (`0` when the
+/// platform cannot report it).
+pub fn cpu_count() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
 }
 
 /// Where the scratch records go: `bench/` inside the workspace
@@ -208,6 +258,9 @@ mod tests {
             threads: 4,
             ms,
             iters,
+            backend: "stencil".into(),
+            host: host_label(),
+            cpus: cpu_count(),
         }
     }
 
@@ -233,6 +286,7 @@ mod tests {
         let r = PerfRecord::from_json(&v).unwrap();
         assert_eq!(r.iters, 0);
         assert_eq!(r.nodes, 2300);
+        assert!(r.backend.is_empty() && r.host.is_empty() && r.cpus == 0);
     }
 
     #[test]

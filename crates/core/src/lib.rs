@@ -62,6 +62,7 @@
 //! | [`control`] | characterization, LUT, flow controller |
 //! | [`sim`] | the co-simulation engine |
 //! | [`runner`] | sweep specs, work-stealing executor, result cache |
+//! | [`obs`] | counters, gauges, span timers (`VFC_TELEMETRY`) |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -75,6 +76,7 @@ pub use vfc_floorplan as floorplan;
 pub use vfc_forecast as forecast;
 pub use vfc_liquid as liquid;
 pub use vfc_num as num;
+pub use vfc_obs as obs;
 pub use vfc_power as power;
 pub use vfc_runner as runner;
 pub use vfc_sched as sched;

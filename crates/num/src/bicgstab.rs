@@ -73,6 +73,24 @@ impl BiCgStab {
         m: &dyn Preconditioner,
         ws: &mut SolverWorkspace,
     ) -> Result<SolveInfo, NumError> {
+        let result = self.solve_inner(a, b, x, m, ws);
+        if vfc_obs::counters_enabled() {
+            vfc_obs::counter_add("solver.solves", 1);
+            if let Ok(info) = &result {
+                vfc_obs::counter_add("solver.iterations", info.iterations as u64);
+            }
+        }
+        result
+    }
+
+    fn solve_inner<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        b: &[f64],
+        x: &mut [f64],
+        m: &dyn Preconditioner,
+        ws: &mut SolverWorkspace,
+    ) -> Result<SolveInfo, NumError> {
         let n = a.order();
         if b.len() != n || x.len() != n || m.order() != n {
             return Err(NumError::DimensionMismatch {
@@ -144,6 +162,7 @@ impl BiCgStab {
                     }
                 });
             }
+            vfc_obs::counter_add("precond.applies", 1);
             m.apply(p, phat);
             a.matvec_into_on(&pool, phat, v);
             let r0v = dot_on(&pool, r0, v, partials);
@@ -179,6 +198,7 @@ impl BiCgStab {
                     residual: norm2_on(&pool, r, partials) / b_norm,
                 });
             }
+            vfc_obs::counter_add("precond.applies", 1);
             m.apply(r, shat);
             a.matvec_into_on(&pool, shat, t);
             let tt = dot_on(&pool, t, t, partials);

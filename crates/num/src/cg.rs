@@ -62,6 +62,24 @@ impl ConjugateGradient {
         m: &dyn Preconditioner,
         ws: &mut SolverWorkspace,
     ) -> Result<SolveInfo, NumError> {
+        let result = self.solve_inner(a, b, x, m, ws);
+        if vfc_obs::counters_enabled() {
+            vfc_obs::counter_add("solver.solves", 1);
+            if let Ok(info) = &result {
+                vfc_obs::counter_add("solver.iterations", info.iterations as u64);
+            }
+        }
+        result
+    }
+
+    fn solve_inner<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        b: &[f64],
+        x: &mut [f64],
+        m: &dyn Preconditioner,
+        ws: &mut SolverWorkspace,
+    ) -> Result<SolveInfo, NumError> {
         let n = a.order();
         if b.len() != n || x.len() != n || m.order() != n {
             return Err(NumError::DimensionMismatch {
@@ -93,6 +111,7 @@ impl ConjugateGradient {
         // Fused initial residual r = b − A·x (bit-identical to matvec
         // plus subtraction, one pass over the rows).
         a.residual_into_on(&pool, b, x, r);
+        vfc_obs::counter_add("precond.applies", 1);
         m.apply(r, z);
         p.copy_from_slice(z);
         let mut rz = dot_on(&pool, r, z, partials);
@@ -127,6 +146,7 @@ impl ConjugateGradient {
                     }
                 });
             }
+            vfc_obs::counter_add("precond.applies", 1);
             m.apply(r, z);
             let rz_new = dot_on(&pool, r, z, partials);
             let beta = rz_new / rz;

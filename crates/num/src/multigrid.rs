@@ -408,6 +408,7 @@ impl Preconditioner for MultigridPreconditioner {
         assert_eq!(r.len(), n, "multigrid: r length");
         assert_eq!(z.len(), n, "multigrid: z length");
         self.cycles.fetch_add(1, Ordering::Relaxed);
+        vfc_obs::counter_add("precond.vcycles", 1);
         let mut guard = self.scratch.lock().expect("mg scratch poisoned");
         let ws = &mut *guard;
         let depth = self.structure.levels.len();

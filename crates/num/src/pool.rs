@@ -198,6 +198,7 @@ impl KernelPool {
     /// kernels once per parallel apply).
     pub(crate) fn note_barriers(&self, n: u64) {
         self.barriers.fetch_add(n, Ordering::Relaxed);
+        vfc_obs::counter_add("pool.barriers", n);
     }
 
     /// Runs `task(participant, participants)` on every participant — the
@@ -219,6 +220,10 @@ impl KernelPool {
             return;
         };
         self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        // Mirrored into the global registry so cross-layer snapshots see
+        // every pool's wake-ups, not just pools the caller kept a handle
+        // to (per-pool deltas stay on `counters()`).
+        vfc_obs::counter_add("pool.broadcasts", 1);
         {
             let mut st = shared.state.lock().expect("pool state");
             // SAFETY: `Job::task` outlives the broadcast — the guard

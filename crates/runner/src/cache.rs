@@ -176,22 +176,42 @@ impl ResultCache {
     /// into memory). Disk corruption is a miss, not an error.
     pub fn get(&self, key: u64) -> Option<SimReport> {
         if let Some(hit) = self.memory.lock().get(&key).cloned() {
+            vfc_obs::counter_add("runner.cache.hits", 1);
             return Some(hit);
         }
-        let disk_hit = self.disk.as_ref()?.load(key)?;
-        self.memory.lock().insert(key, disk_hit.clone());
-        Some(disk_hit)
+        match self.disk.as_ref().and_then(|disk| disk.load(key)) {
+            Some(disk_hit) => {
+                vfc_obs::counter_add("runner.cache.hits", 1);
+                vfc_obs::counter_add("runner.cache.disk_promotions", 1);
+                self.memory.lock().insert(key, disk_hit.clone());
+                Some(disk_hit)
+            }
+            None => {
+                vfc_obs::counter_add("runner.cache.misses", 1);
+                None
+            }
+        }
     }
 
     /// Stores a freshly simulated report under `key`. Disk failures are
     /// reported but non-fatal by design — the caller already holds the
     /// result, and a read-only filesystem must not fail a sweep.
     pub fn insert(&self, key: u64, report: &SimReport) -> Result<(), RunnerError> {
+        vfc_obs::counter_add("runner.cache.stores", 1);
         self.memory.lock().insert(key, report.clone());
         match &self.disk {
             Some(disk) => disk.store(key, report),
             None => Ok(()),
         }
+    }
+
+    /// Entry files evicted from the disk tier by this instance's budget
+    /// enforcement (0 without a disk tier; LRU-by-mtime eviction was
+    /// previously silent).
+    pub fn evictions(&self) -> u64 {
+        self.disk.as_ref().map_or(0, |disk| {
+            disk.evicted.load(std::sync::atomic::Ordering::Relaxed)
+        })
     }
 
     /// Number of in-memory entries.
@@ -220,6 +240,10 @@ struct DiskStore {
     /// budget (the eviction pass re-derives the authoritative total,
     /// which also corrects drift from concurrent writer processes).
     tracked_bytes: Mutex<Option<u64>>,
+    /// Entry files evicted by this instance (surfaced via
+    /// [`ResultCache::evictions`] and the `runner.cache.evictions`
+    /// telemetry counter).
+    evicted: std::sync::atomic::AtomicU64,
 }
 
 impl DiskStore {
@@ -229,6 +253,7 @@ impl DiskStore {
             index_lock: Mutex::new(()),
             max_bytes,
             tracked_bytes: Mutex::new(None),
+            evicted: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -333,6 +358,9 @@ impl DiskStore {
             }
             if std::fs::remove_file(&path).is_ok() {
                 total = total.saturating_sub(size);
+                self.evicted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                vfc_obs::counter_add("runner.cache.evictions", 1);
             }
         }
         total
@@ -529,6 +557,7 @@ mod tests {
                 .len()
         };
         let cache = ResultCache::on_disk(&dir).with_max_bytes(one * 2 + one / 2);
+        assert_eq!(cache.evictions(), 0);
         std::thread::sleep(std::time::Duration::from_millis(20));
         cache.insert(2, &report("two")).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -539,12 +568,14 @@ mod tests {
         assert!(fresh.get(1).is_none(), "oldest entry must be evicted");
         assert_eq!(fresh.get(2).unwrap().label, "two");
         assert_eq!(fresh.get(3).unwrap().label, "three");
+        assert_eq!(cache.evictions(), 1, "the eviction must be counted");
 
         // An evicted cell is an ordinary miss: re-storing repopulates it
         // (and the budget now evicts entry 2, the new oldest).
         cache.insert(1, &report("one again")).unwrap();
         let after = ResultCache::on_disk(&dir);
         assert_eq!(after.get(1).unwrap().label, "one again");
+        assert_eq!(cache.evictions(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -106,6 +106,7 @@ impl Executor {
         let slots: Vec<Mutex<Option<Result<T, RunnerError>>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
         let completed = AtomicUsize::new(0);
+        let batch_start = std::time::Instant::now();
 
         std::thread::scope(|scope| {
             for me in 0..workers {
@@ -123,12 +124,23 @@ impl Executor {
                             .find_map(|offset| deques[(me + offset) % workers].lock().pop_back())
                     });
                     let Some((idx, input)) = next else { break };
+                    // Queue wait: how long a job sat in the deques before
+                    // a worker picked it up (batch-relative — the metric
+                    // a backpressure policy watches).
+                    if vfc_obs::spans_enabled() {
+                        vfc_obs::record_ns(
+                            "runner.queue_wait",
+                            batch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        );
+                    }
+                    let job_span = vfc_obs::span("runner.execute");
                     let result = match std::panic::catch_unwind(AssertUnwindSafe(|| job(input))) {
                         Ok(r) => r,
                         Err(payload) => Err(RunnerError::JobPanicked {
                             message: panic_message(payload.as_ref()),
                         }),
                     };
+                    drop(job_span);
                     *slots[idx].lock() = Some(result);
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                     progress(Progress {

@@ -47,6 +47,7 @@ mod error;
 mod executor;
 pub mod json;
 mod spec;
+pub mod telemetry;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -71,6 +72,10 @@ pub struct SweepStats {
     pub executed: u64,
     /// Jobs that returned an error.
     pub failures: u64,
+    /// Disk-cache entry files evicted by the size budget
+    /// ([`CACHE_MAX_MB_ENV`]); previously silent, now surfaced here and
+    /// in the `sweep` CLI summary.
+    pub cache_evictions: u64,
 }
 
 impl SweepStats {
@@ -146,6 +151,7 @@ impl SweepRunner {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            cache_evictions: self.cache.evictions(),
         }
     }
 
@@ -191,6 +197,8 @@ impl SweepRunner {
     ) -> Vec<Result<SimReport, RunnerError>> {
         let total = configs.len();
         self.jobs.fetch_add(total as u64, Ordering::Relaxed);
+        vfc_obs::counter_add("runner.jobs", total as u64);
+        let batch_start = std::time::Instant::now();
 
         // Dedupe identical cells in flight: only the first occurrence of
         // each cache key simulates; repeats are served from the cache
@@ -211,6 +219,15 @@ impl SweepRunner {
         let done = std::sync::atomic::AtomicUsize::new(0);
         let tick = |p: &dyn Fn(Progress)| {
             let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            // Live progress/ETA for whoever is scraping the registry
+            // (the sweep CLI prints its own ETA from the same callback).
+            if vfc_obs::counters_enabled() {
+                vfc_obs::gauge_set("runner.jobs_total", total as f64);
+                vfc_obs::gauge_set("runner.jobs_completed", completed as f64);
+                let elapsed = batch_start.elapsed().as_secs_f64();
+                let eta = elapsed / completed as f64 * (total - completed) as f64;
+                vfc_obs::gauge_set("runner.eta_seconds", eta);
+            }
             p(Progress { completed, total });
         };
         let primary_indices: Vec<usize> = primaries.iter().map(|&(i, _)| i).collect();
@@ -252,6 +269,7 @@ impl SweepRunner {
 
     /// One cell: cache lookup, else simulate and store.
     fn run_one(&self, cfg: SimConfig) -> Result<SimReport, RunnerError> {
+        let _span = vfc_obs::span("runner.job");
         let key = cfg.cache_key();
         if let Some(report) = self.cache.get(key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);

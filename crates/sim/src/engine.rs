@@ -281,6 +281,7 @@ impl Simulation {
             }
 
             // Arrivals and placement.
+            let workload_span = vfc_obs::span("engine.workload");
             for th in generator.poll(tick) {
                 let ctx = SchedContext {
                     core_temps: &core_temps,
@@ -310,9 +311,11 @@ impl Simulation {
                 dpm.tick(i, busy_now > 0, tick);
                 busy_ticks[i] += busy_now;
             }
+            drop(workload_span);
 
             // Sampling boundary: thermal + control + metrics.
             if (tick_i + 1) % sample_every == 0 {
+                vfc_obs::counter_add("engine.samples", 1);
                 let dt = cfg.sampling_interval;
                 for (u, &b) in util.iter_mut().zip(&busy_ticks) {
                     *u = b as f64 / (sample_every * contexts) as f64;
@@ -326,6 +329,7 @@ impl Simulation {
                 }
                 busy_ticks.fill(0);
 
+                let thermal_span = vfc_obs::span("engine.thermal");
                 self.fill_power(
                     &mut power,
                     &util,
@@ -344,6 +348,7 @@ impl Simulation {
                 block_temps.core_max_temperatures_into(&self.stack, &mut core_temps);
                 let tmax = max_of(&core_temps);
                 let gradient = block_temps.max_spatial_gradient();
+                drop(thermal_span);
 
                 let pump_w = match cfg.cooling {
                     CoolingKind::Air => Watts::ZERO,
@@ -366,13 +371,20 @@ impl Simulation {
                     }
                 }
 
+                // Balance phase: flow control plus scheduler weight
+                // refresh; the forecast span nests inside it (recorded
+                // as `engine.balance/engine.forecast`).
+                let _balance_span = vfc_obs::span("engine.balance");
                 if let Some(ctrl) = self.controller.as_mut() {
-                    let prediction = match self.predictor.as_mut() {
-                        Some(p) => {
-                            p.observe(tmax);
-                            p.forecast().unwrap_or(tmax)
+                    let prediction = {
+                        let _forecast_span = vfc_obs::span("engine.forecast");
+                        match self.predictor.as_mut() {
+                            Some(p) => {
+                                p.observe(tmax);
+                                p.forecast().unwrap_or(tmax)
+                            }
+                            None => tmax, // reactive ablation
                         }
-                        None => tmax, // reactive ablation
                     };
                     let setting = ctrl.step(prediction, dt);
                     self.active = setting.index();

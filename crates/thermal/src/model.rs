@@ -394,6 +394,10 @@ impl ThermalModel {
         if self.flow == Some(flow) {
             return Ok(());
         }
+        // Patch latency is the pump controller's actuation cost; spans
+        // make it visible next to the solve times it trades against.
+        let _span = vfc_obs::span("thermal.set_flow");
+        vfc_obs::counter_add("thermal.flow_patches", 1);
         let patch = FlowPatch::compute(&self.skeleton, flow);
         let skeleton = Arc::clone(&self.skeleton);
         skeleton.apply_patch(&patch, &mut self.g, &mut self.b0, &mut self.boundary_links);
@@ -515,6 +519,8 @@ impl ThermalModel {
                 got: power.len(),
             });
         }
+        let _span = vfc_obs::span("thermal.steady");
+        vfc_obs::counter_add("thermal.steady_solves", 1);
         self.rhs_buf.resize(n, 0.0);
         for i in 0..n {
             self.rhs_buf[i] = power[i] + self.b0[i];
@@ -538,6 +544,7 @@ impl ThermalModel {
                 // a tridiagonal-complete factorization) and beats seeding
                 // with the flat reference temperature.
                 let mut x0 = vec![0.0; n];
+                vfc_obs::counter_add("precond.applies", 1);
                 precond.apply(&self.rhs_buf, &mut x0);
                 x0
             }
@@ -603,6 +610,8 @@ impl ThermalModel {
         if dt.value() <= 0.0 || substeps == 0 {
             return Err(ThermalError::InvalidTimeStep);
         }
+        let _span = vfc_obs::span("thermal.step");
+        vfc_obs::counter_add("thermal.steps", 1);
         let h = dt.value() / substeps as f64;
         self.ensure_be_cache(h)?;
         self.last_step_iterations = 0;
@@ -764,11 +773,14 @@ fn run_substeps<A: LinearOperator>(
             let b_norm = norm2_on(pool, rhs, partials);
             let r_norm = norm2_on(pool, resid, partials);
             if r_norm <= solver.tolerance * b_norm {
+                vfc_obs::counter_add("thermal.substep_short_circuits", 1);
                 break;
             }
             // Seed with the preconditioned residual correction (M⁻¹·r
             // is what the solver's first iteration would spend most of
             // its work approximating).
+            vfc_obs::counter_add("thermal.warm_seeded_substeps", 1);
+            vfc_obs::counter_add("precond.applies", 1);
             precond.apply(resid, seed);
             for i in 0..n {
                 temps[i] += seed[i];
@@ -778,6 +790,7 @@ fn run_substeps<A: LinearOperator>(
                 rhs[i] = cap_over_h[i] * temps[i] + base[i];
             }
         }
+        vfc_obs::counter_add("thermal.substeps", 1);
         let info = solver.solve_with(op, rhs, temps, precond, ws)?;
         iterations += info.iterations;
     }

@@ -1,0 +1,78 @@
+//! The telemetry hard invariant: `VFC_TELEMETRY` is an execution knob.
+//! It must never change a simulation result — not an iteration count,
+//! not a bit of a temperature — and it must never enter the cache key.
+//!
+//! One `#[test]` on purpose: the telemetry level and registry are
+//! process-wide, so splitting the phases across tests would let the
+//! harness's parallel test threads race on `set_level`.
+
+use vfc::obs::{self, TelemetryLevel};
+use vfc::prelude::*;
+use vfc::units::{Length, Seconds};
+
+fn config() -> SimConfig {
+    SimConfig::new(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        vfc::workload::Benchmark::by_name("gzip").unwrap(),
+    )
+    .with_duration(Seconds::new(2.0))
+    .with_grid_cell(Length::from_millimeters(2.0))
+}
+
+#[test]
+fn telemetry_level_never_perturbs_results_or_cache_keys() {
+    let levels = [
+        TelemetryLevel::Off,
+        TelemetryLevel::Counters,
+        TelemetryLevel::Spans,
+    ];
+
+    // The cache key is identical at every level (telemetry is not a
+    // physical parameter, so it must not fragment the result cache).
+    let keys: Vec<u64> = levels
+        .iter()
+        .map(|&level| {
+            obs::set_level(level);
+            config().cache_key()
+        })
+        .collect();
+    assert!(
+        keys.windows(2).all(|w| w[0] == w[1]),
+        "cache key varies with telemetry level: {keys:?}"
+    );
+
+    // A full engine run lands an equal SimReport at every level — the
+    // report's f64 fields compare by value, and the simulation is
+    // deterministic, so any drift here is telemetry perturbing the run.
+    let reports: Vec<SimReport> = levels
+        .iter()
+        .map(|&level| {
+            obs::set_level(level);
+            obs::reset();
+            // Fresh runner per level: a shared cache would serve the
+            // later levels the first level's report and gate nothing.
+            let mut out = SweepRunner::new().run(vec![config()]).expect("run");
+            out.remove(0)
+        })
+        .collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "SimReport differs between off and counters"
+    );
+    assert_eq!(
+        reports[1], reports[2],
+        "SimReport differs between counters and spans"
+    );
+
+    // And the recording side did actually engage at the higher levels:
+    // the spans run must have left solver iterations in the registry.
+    let snap = obs::snapshot();
+    assert!(
+        snap.counter("solver.iterations").unwrap_or(0) > 0,
+        "spans-level run recorded no solver iterations"
+    );
+    obs::set_level(TelemetryLevel::Off);
+    obs::reset();
+}

@@ -15,7 +15,8 @@
 
 use vfc::floorplan::{ultrasparc, GridSpec};
 use vfc::num::{
-    norm2_on, Ilu0Preconditioner, KernelPool, LinearOperator, Preconditioner, StencilOp,
+    dot2_on, dot_on, norm2_on, Ilu0Preconditioner, KernelPool, LinearOperator, MgCycleConfig,
+    Preconditioner, PreconditionerKind, StencilOp,
 };
 use vfc::thermal::{StackThermalBuilder, ThermalConfig};
 use vfc::units::{Length, VolumetricFlow, Watts};
@@ -105,6 +106,18 @@ fn main() {
     probe("kernel.norm2", reps, || {
         std::hint::black_box(norm2_on(&pool, &r, &mut partials));
     });
+    // The two reduction pairs BiCGStab co-locates: ‖r‖² with r₀·r as
+    // two separate blocked passes vs one fused dot2 pass (bit-identical
+    // per product — the fusion only saves the second sweep's memory
+    // traffic and barrier).
+    probe("kernel.dot_pair_separate", reps, || {
+        let rr = dot_on(&pool, &r, &r, &mut partials);
+        let rho = dot_on(&pool, &x, &r, &mut partials);
+        std::hint::black_box((rr, rho));
+    });
+    probe("kernel.dot_pair_fused", reps, || {
+        std::hint::black_box(dot2_on(&pool, &r, &r, &x, &r, &mut partials));
+    });
     let mut w = vec![0.0; n];
     probe("kernel.axpy", reps, || {
         for i in 0..n {
@@ -126,15 +139,71 @@ fn main() {
         ("ilu0 apply (indexed)", "kernel.ilu0_apply_indexed"),
         ("ilu0 apply (stencil)", "kernel.ilu0_apply_stencil"),
         ("norm2", "kernel.norm2"),
+        ("dot pair (2 passes)", "kernel.dot_pair_separate"),
+        ("dot pair (fused dot2)", "kernel.dot_pair_fused"),
         ("axpy pass", "kernel.axpy"),
     ] {
         let stat = snap.stat(&format!("span.{name}")).expect("probed span");
         println!("{label:>28} {:>10.4} {:>6}", stat.mean_ms(), stat.count);
     }
     println!(
-        "matvec speedup {:.2}x, sweep speedup {:.2}x",
+        "matvec speedup {:.2}x, sweep speedup {:.2}x, dot-pair fusion {:.2}x",
         mean("kernel.csr_matvec") / mean("kernel.stencil_matvec").max(1e-12),
-        mean("kernel.ilu0_apply_indexed") / mean("kernel.ilu0_apply_stencil").max(1e-12)
+        mean("kernel.ilu0_apply_indexed") / mean("kernel.ilu0_apply_stencil").max(1e-12),
+        mean("kernel.dot_pair_separate") / mean("kernel.dot_pair_fused").max(1e-12)
+    );
+
+    // Per-leg V-cycle anatomy: apply the symmetric V(1,1) and the cheap
+    // asymmetric V(0,1) cycles and print the `mg.*` leg spans the
+    // preconditioner records — where a cycle's milliseconds actually go
+    // (the measurements behind `MgCycleConfig::cheap`).
+    let mg_reps = reps.min(20);
+    println!(
+        "\n{:>28} {:>10} {:>10}",
+        "V-cycle leg", "V(1,1) ms", "V(0,1) ms"
+    );
+    let legs = [
+        ("pre-smooth", "mg.pre_smooth"),
+        ("restrict", "mg.restrict"),
+        ("coarse chain", "mg.coarse"),
+        ("prolong", "mg.prolong"),
+        ("post-smooth", "mg.post_smooth"),
+    ];
+    let mut columns = Vec::new();
+    for cycle in [MgCycleConfig::default(), MgCycleConfig::cheap()] {
+        let mg = PreconditionerKind::Multigrid
+            .build_with_cycle_on(
+                &a,
+                KernelPool::new(1),
+                Some(model.skeleton().schedules()),
+                cycle,
+            )
+            .expect("multigrid hierarchy");
+        vfc::obs::reset();
+        mg.apply(&r, &mut z); // warm-up
+        vfc::obs::reset();
+        for _ in 0..mg_reps {
+            mg.apply(&r, &mut z);
+        }
+        let snap = vfc::obs::snapshot();
+        columns.push(legs.map(|(_, name)| {
+            snap.stat(&format!("span.{name}"))
+                .map_or(0.0, |s| s.mean_ms())
+        }));
+    }
+    for (i, (label, _)) in legs.iter().enumerate() {
+        println!(
+            "{label:>28} {:>10.4} {:>10.4}",
+            columns[0][i], columns[1][i]
+        );
+    }
+    let total = |c: &[f64; 5]| c.iter().sum::<f64>();
+    println!(
+        "{:>28} {:>10.4} {:>10.4}  ({mg_reps} applies; cheap cycle {:.2}x)",
+        "whole cycle",
+        total(&columns[0]),
+        total(&columns[1]),
+        total(&columns[0]) / total(&columns[1]).max(1e-12)
     );
     if let Some(path) = &telemetry {
         export_snapshot(path);

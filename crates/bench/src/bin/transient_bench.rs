@@ -36,12 +36,13 @@ use std::time::Instant;
 
 use vfc::floorplan::{ultrasparc, GridSpec};
 use vfc::num::{
-    Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner, PreconditionerKind,
+    Ilu0Preconditioner, KernelPool, MgCycleConfig, OperatorBackend, Preconditioner,
+    PreconditionerKind,
 };
 use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
 use vfc_bench::perf::{
-    backend_label, cpu_count, host_label, precond_label, read_bench_records, report_bench_records,
+    backend_label, cpu_count, host_label, read_bench_records, report_bench_records,
     root_record_path, PerfRecord,
 };
 use vfc_bench::telemetry::{enable_for_export, export_snapshot, parse_telemetry_flag};
@@ -178,14 +179,47 @@ fn main() {
         "broadcasts",
         "barriers"
     );
-    let preconds = [PreconditionerKind::Ilu0, PreconditionerKind::Multigrid];
+    // Solver variants per grid: the ILU(0) and V(1,1)-multigrid
+    // baselines, plus `mgfast` — the cheap asymmetric V(0,1) cycle
+    // with 2 deflation vectors recycled across sub-steps, the
+    // configuration the asymmetric-cycle work targets. Ablations that
+    // informed the shape (same-run, 100 µm, 1 thread): V(0,1) trades
+    // +27% iterations for −35% cycle cost (net ~1.2–1.3× over V(1,1));
+    // weakening the *coarse* chain to Jacobi/none guts the coarse-grid
+    // correction (470/1159 iterations vs 280); recycling k=2 saves ~10
+    // iterations per 10 samples at roughly break-even cost, and deeper
+    // rings (k=4: −40 iterations) lose the savings to the k fresh
+    // matvecs each projection pays.
+    let variants = [
+        (
+            "",
+            "ilu0",
+            PreconditionerKind::Ilu0,
+            MgCycleConfig::default(),
+            0usize,
+        ),
+        (
+            "-mg",
+            "mg",
+            PreconditionerKind::Multigrid,
+            MgCycleConfig::default(),
+            0,
+        ),
+        (
+            "-mgfast",
+            "mgfast",
+            PreconditionerKind::Multigrid,
+            MgCycleConfig::cheap(),
+            2,
+        ),
+    ];
     let mut records = Vec::new();
     let mut gate_failures = 0usize;
     let mut gate_matches = 0usize;
     for &cell in &cells {
         let grid =
             GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(cell));
-        for &kind in &preconds {
+        for &(tag, label, kind, cycle, recycle) in &variants {
             let mut base_ms = None;
             // Determinism reference shared across backends AND thread
             // counts: everything must land the same bits and iterations.
@@ -195,6 +229,8 @@ fn main() {
                     let mut cfg = ThermalConfig::default();
                     cfg.solver.backend = backend;
                     cfg.solver.preconditioner = kind;
+                    cfg.solver.mg_cycle = cycle;
+                    cfg.solver.recycle = recycle;
                     let builder = StackThermalBuilder::new(&stack, grid, cfg);
                     let mut model = builder.build(Some(flow)).expect("build");
                     let pool = KernelPool::new(t);
@@ -240,7 +276,7 @@ fn main() {
                         "{:>9.2} {:>9} {:>8} {:>8} {:>8} {:>11.2} {:>7} {:>7.2}x {:>11} {:>10}",
                         cell,
                         model.node_count(),
-                        precond_label(kind),
+                        label,
                         backend_label(model.operator_backend()),
                         t,
                         ms,
@@ -252,11 +288,7 @@ fn main() {
                     let case = format!(
                         "transient{}{}{}",
                         if no_seed { "-noseed" } else { "" },
-                        if kind == PreconditionerKind::Multigrid {
-                            "-mg"
-                        } else {
-                            ""
-                        },
+                        tag,
                         if backend == OperatorBackend::Csr {
                             "-csr"
                         } else {
@@ -283,7 +315,7 @@ fn main() {
                         case,
                         grid_mm: cell,
                         nodes: model.node_count(),
-                        precond: precond_label(kind).into(),
+                        precond: label.into(),
                         threads: t,
                         ms,
                         iters,

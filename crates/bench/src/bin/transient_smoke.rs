@@ -21,13 +21,19 @@
 //! * the multigrid-preconditioned scenario honours the same thread and
 //!   backend parity contracts, beats ILU(0) on total Krylov iterations
 //!   and stays inside its own fixed budget;
+//! * the cheap asymmetric V(0,1) cycle with sub-step Krylov recycling
+//!   (`transient_bench`'s `mgfast` configuration) honours the same
+//!   parity contracts, stays inside its own budget, and converges to
+//!   the symmetric cycle's temperatures within solver tolerance — the
+//!   observable fact behind keeping cycle shape and recycling depth
+//!   out of simulation cache keys;
 //! * ILU(0) level merging strictly reduces the sweep barrier count
 //!   versus the one-barrier-per-level plan.
 
 use vfc::floorplan::{ultrasparc, GridSpec};
 use vfc::num::{
-    Ilu0Preconditioner, KernelPool, OperatorBackend, Preconditioner, PreconditionerKind,
-    PAR_MIN_LEN,
+    Ilu0Preconditioner, KernelPool, MgCycleConfig, OperatorBackend, Preconditioner,
+    PreconditionerKind, PAR_MIN_LEN,
 };
 use vfc::thermal::{StackThermalBuilder, ThermalConfig, ThermalModel};
 use vfc::units::{Length, Seconds, VolumetricFlow, Watts};
@@ -227,6 +233,100 @@ fn main() {
             "stencil and CSR backends diverged under multigrid"
         );
         println!("multigrid parity: thread counts and backends bit-identical");
+
+        // The cheap-cycle + recycling configuration `transient_bench`
+        // gates as `mgfast`: asymmetric V(0,1) cycles with a 2-vector
+        // deflation ring recycled across sub-steps. Same contracts as
+        // the symmetric cycle — bit-identical across 1/2/4 threads and
+        // both backends, a fixed iteration budget — plus the
+        // solver-tolerance equivalence that justifies keeping the cycle
+        // shape and recycling depth out of simulation cache keys: the
+        // converged temperatures match the V(1,1) run to well under a
+        // millikelvin.
+        let build_fast = |threads: usize, backend: OperatorBackend| {
+            let stack = ultrasparc::two_layer_liquid();
+            let grid = GridSpec::from_cell_size(
+                stack.tiers()[0].floorplan(),
+                Length::from_millimeters(0.25),
+            );
+            let mut cfg = ThermalConfig::default();
+            cfg.solver.backend = backend;
+            cfg.solver.preconditioner = PreconditionerKind::Multigrid;
+            cfg.solver.mg_cycle = MgCycleConfig::cheap();
+            cfg.solver.recycle = 2;
+            let mut model = StackThermalBuilder::new(&stack, grid, cfg)
+                .build(Some(VolumetricFlow::from_ml_per_minute(600.0)))
+                .expect("build");
+            model.set_kernel_pool(KernelPool::new(threads));
+            model
+        };
+        let mut fast_ref: Option<(Vec<usize>, Vec<f64>)> = None;
+        for threads in [1usize, 2, 4] {
+            let (iters, temps) = run_scenario(&mut build_fast(threads, OperatorBackend::Stencil));
+            let total: usize = iters.iter().sum();
+            match &fast_ref {
+                None => {
+                    println!(
+                        "mg cheap cycle + recycling: {total:>4} Krylov iterations, \
+                         per-sample {:?}",
+                        &iters[..6.min(iters.len())]
+                    );
+                    // The V(0,1) cycle trades iterations for cheaper
+                    // applies; the budget holds the premium over the
+                    // symmetric cycle to what a healthy solver measures
+                    // (headroom included), so a broken coarse chain or
+                    // recycling projection trips it.
+                    assert!(
+                        total <= 300,
+                        "cheap-cycle iteration budget regressed: {total} > 300"
+                    );
+                    assert!(total > 0, "scenario must exercise the solver");
+                    let (mg_iters, mg_temps) = mg_ref.as_ref().expect("multigrid reference");
+                    let mg_total: usize = mg_iters.iter().sum();
+                    let max_dev = temps
+                        .iter()
+                        .zip(mg_temps)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f64, f64::max);
+                    assert!(
+                        max_dev < 1e-6,
+                        "cycle shape moved converged temperatures by {max_dev} K"
+                    );
+                    println!(
+                        "  vs symmetric V(1,1): {total} vs {mg_total} iterations, \
+                         max |dT| {max_dev:.2e} K"
+                    );
+                    fast_ref = Some((iters, temps));
+                }
+                Some((ref_iters, ref_temps)) => {
+                    assert_eq!(
+                        &iters, ref_iters,
+                        "cheap-cycle iteration counts changed at {threads} threads"
+                    );
+                    assert!(
+                        temps
+                            .iter()
+                            .zip(ref_temps)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "cheap-cycle temperatures diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+        let (csr_iters, csr_temps) = run_scenario(&mut build_fast(2, OperatorBackend::Csr));
+        let (ref_iters, ref_temps) = fast_ref.as_ref().expect("cheap-cycle reference recorded");
+        assert_eq!(
+            &csr_iters, ref_iters,
+            "backends disagree on cheap-cycle iterations"
+        );
+        assert!(
+            csr_temps
+                .iter()
+                .zip(ref_temps)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "stencil and CSR backends diverged under the cheap cycle"
+        );
+        println!("cheap-cycle parity: thread counts and backends bit-identical");
     }
 
     // Level merging: a parallel ILU(0) apply must cross strictly fewer

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use crate::pool::{par_range, SharedMut};
 use crate::{
-    dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, LinearOperator, NumError, Preconditioner,
-    SolveInfo, SolverWorkspace,
+    dot2_on, dot_on, norm2_on, CsrMatrix, JacobiPreconditioner, LinearOperator, NumError,
+    Preconditioner, SolveInfo, SolverWorkspace,
 };
 
 /// Conjugate-gradient solver for symmetric positive-definite systems.
@@ -114,10 +114,14 @@ impl ConjugateGradient {
         vfc_obs::counter_add("precond.applies", 1);
         m.apply(r, z);
         p.copy_from_slice(z);
-        let mut rz = dot_on(&pool, r, z, partials);
+        // r·z and ‖r‖ are co-located after every preconditioner apply
+        // (r does not change again before the next convergence check),
+        // so both reductions share one fused pass; each product is
+        // bit-identical to its separate reduction.
+        let (mut rz, mut rr) = dot2_on(&pool, r, z, r, r, partials);
 
         for it in 0..self.max_iterations {
-            let res = norm2_on(&pool, r, partials) / b_norm;
+            let res = rr.sqrt() / b_norm;
             if res <= self.tolerance {
                 return Ok(SolveInfo {
                     iterations: it,
@@ -148,9 +152,10 @@ impl ConjugateGradient {
             }
             vfc_obs::counter_add("precond.applies", 1);
             m.apply(r, z);
-            let rz_new = dot_on(&pool, r, z, partials);
+            let (rz_new, rr_new) = dot2_on(&pool, r, z, r, r, partials);
             let beta = rz_new / rz;
             rz = rz_new;
+            rr = rr_new;
             {
                 let pw = SharedMut(p.as_mut_ptr());
                 let zr: &[f64] = z;

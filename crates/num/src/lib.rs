@@ -73,7 +73,7 @@ pub use self::bicgstab::BiCgStab;
 pub use self::cg::ConjugateGradient;
 pub use self::dense::{DenseMatrix, LuFactors};
 pub use self::error::NumError;
-pub use self::multigrid::{MgStructure, MultigridPreconditioner};
+pub use self::multigrid::{MgCycleConfig, MgSmoother, MgStructure, MultigridPreconditioner};
 pub use self::operator::{CsrOp, LinearOperator, OperatorBackend, BACKEND_ENV};
 pub use self::pool::{KernelPool, PoolCounters, PAR_MIN_LEN, THREADS_ENV};
 pub use self::precond::{
@@ -149,6 +149,39 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     s
 }
 
+/// Two dot products over co-located data in **one pass**:
+/// `(a·b, c·d)`, with all four slices the same length.
+///
+/// Each product is accumulated exactly as [`dot`] accumulates it — the
+/// same per-[`REDUCE_BLOCK`] partials folded in the same block order —
+/// so both results are bit-identical to separate [`dot`] calls; the
+/// fusion only halves the number of passes over memory (the solvers'
+/// co-located reductions, e.g. `‖r‖` with `r₀·r`, are bandwidth-bound).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot2(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "dot2: length mismatch");
+    assert_eq!(c.len(), d.len(), "dot2: length mismatch");
+    assert_eq!(a.len(), c.len(), "dot2: length mismatch");
+    if a.len() <= REDUCE_BLOCK {
+        return (dot_block(a, b), dot_block(c, d));
+    }
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for (((ca, cb), cc), cd) in a
+        .chunks(REDUCE_BLOCK)
+        .zip(b.chunks(REDUCE_BLOCK))
+        .zip(c.chunks(REDUCE_BLOCK))
+        .zip(d.chunks(REDUCE_BLOCK))
+    {
+        s1 += dot_block(ca, cb);
+        s2 += dot_block(cc, cd);
+    }
+    (s1, s2)
+}
+
 /// [`dot`] distributed over a [`KernelPool`]: each fixed block's partial
 /// sum may be computed by any worker, but partials are folded in block
 /// order on the caller, so the result is bit-identical to [`dot`] for
@@ -182,6 +215,52 @@ pub fn dot_on(pool: &KernelPool, a: &[f64], b: &[f64], partials: &mut Vec<f64>) 
 /// serial [`norm2`] at every thread count (see [`dot_on`]).
 pub fn norm2_on(pool: &KernelPool, v: &[f64], partials: &mut Vec<f64>) -> f64 {
     dot_on(pool, v, v, partials).sqrt()
+}
+
+/// [`dot2`] distributed over a [`KernelPool`]: each block's two partial
+/// sums are computed together by whichever worker claims the block (one
+/// broadcast instead of two, one pass over the block's data), then each
+/// product's partials are folded in block order on the caller — so both
+/// results are bit-identical to separate [`dot_on`] calls at every
+/// thread count. `partials` is caller-owned scratch, grown to two slots
+/// per block.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot2_on(
+    pool: &KernelPool,
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    d: &[f64],
+    partials: &mut Vec<f64>,
+) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "dot2: length mismatch");
+    assert_eq!(c.len(), d.len(), "dot2: length mismatch");
+    assert_eq!(a.len(), c.len(), "dot2: length mismatch");
+    let n = a.len();
+    if pool.threads() == 1 || n < pool::PAR_MIN_LEN {
+        return dot2(a, b, c, d);
+    }
+    let blocks = n.div_ceil(REDUCE_BLOCK);
+    if partials.len() < 2 * blocks {
+        partials.resize(2 * blocks, 0.0);
+    }
+    let out = pool::SharedMut(partials.as_mut_ptr());
+    pool.run_chunks(blocks, &|blk| {
+        let s = blk * REDUCE_BLOCK;
+        let e = (s + REDUCE_BLOCK).min(n);
+        // SAFETY: each chunk writes only its own two partial slots.
+        unsafe {
+            *out.ptr().add(blk) = dot_block(&a[s..e], &b[s..e]);
+            *out.ptr().add(blocks + blk) = dot_block(&c[s..e], &d[s..e]);
+        }
+    });
+    (
+        partials[..blocks].iter().sum(),
+        partials[blocks..2 * blocks].iter().sum(),
+    )
 }
 
 #[cfg(test)]
@@ -235,5 +314,54 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).cos()).collect();
         let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot(&a, &b) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// The fused two-product reduction must land the exact bits of
+        /// the separate `dot`/`dot_on` calls at every thread count —
+        /// the contract that makes it a pure execution optimization in
+        /// the solvers (iteration counts cannot move).
+        #[test]
+        fn fused_dot2_is_bit_identical_to_separate_reductions(
+            len_seed in 0usize..4 * REDUCE_BLOCK,
+            scale in 0.125f64..8.0,
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            // Span the serial single-block, serial multi-block and
+            // pooled regimes (PAR_MIN_LEN < 4 blocks).
+            let n = len_seed + 3;
+            let a: Vec<f64> = (0..n)
+                .map(|i| ((i * 37 % 251) as f64) / 13.0 - 9.0)
+                .collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| scale * (((i * 53 % 113) as f64) / 7.0 - 8.0))
+                .collect();
+            let c: Vec<f64> = (0..n)
+                .map(|i| ((i * 11 % 97) as f64) / 5.0 - 9.5)
+                .collect();
+            let want = (dot(&a, &b), dot(&c, &a));
+            let got = dot2(&a, &b, &c, &a);
+            prop_assert_eq!(got.0.to_bits(), want.0.to_bits());
+            prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+            for threads in [1usize, 2, 4] {
+                let pool = KernelPool::new(threads);
+                let mut partials = Vec::new();
+                let separate = (
+                    dot_on(&pool, &a, &b, &mut partials),
+                    dot_on(&pool, &c, &a, &mut partials),
+                );
+                let fused = dot2_on(&pool, &a, &b, &c, &a, &mut partials);
+                prop_assert_eq!(fused.0.to_bits(), want.0.to_bits(), "threads {}", threads);
+                prop_assert_eq!(fused.1.to_bits(), want.1.to_bits(), "threads {}", threads);
+                prop_assert_eq!(separate.0.to_bits(), want.0.to_bits());
+                prop_assert_eq!(separate.1.to_bits(), want.1.to_bits());
+                // The aliased self-product form the solvers use (‖r‖
+                // fused with r₀·r) must match norm2 too.
+                let (rr, _) = dot2_on(&pool, &a, &a, &c, &a, &mut partials);
+                prop_assert_eq!(rr.sqrt().to_bits(), norm2(&a).to_bits());
+            }
+        }
     }
 }

@@ -1235,6 +1235,24 @@ impl PreconditionerKind {
         pool: Arc<KernelPool>,
         schedules: Option<&Arc<KernelSchedules>>,
     ) -> Result<Box<dyn Preconditioner>, NumError> {
+        self.build_with_cycle_on(a, pool, schedules, crate::MgCycleConfig::default())
+    }
+
+    /// Builds like [`build_on`](Self::build_on), with an explicit
+    /// multigrid cycle shape. `cycle` only affects
+    /// [`Multigrid`](Self::Multigrid); every other kind ignores it, so
+    /// callers can thread the knob through unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_with_cycle_on(
+        self,
+        a: &CsrMatrix,
+        pool: Arc<KernelPool>,
+        schedules: Option<&Arc<KernelSchedules>>,
+        cycle: crate::MgCycleConfig,
+    ) -> Result<Box<dyn Preconditioner>, NumError> {
         Ok(match self {
             PreconditionerKind::Identity => Box::new(IdentityPreconditioner::new(a.order())),
             PreconditionerKind::Jacobi => Box::new(JacobiPreconditioner::new(a)),
@@ -1248,11 +1266,12 @@ impl PreconditionerKind {
             )?),
             PreconditionerKind::Multigrid => {
                 match schedules.and_then(|s| s.multigrid().cloned()) {
-                    Some(structure) => Box::new(crate::MultigridPreconditioner::new_on(
+                    Some(structure) => Box::new(crate::MultigridPreconditioner::with_cycle_on(
                         a,
                         pool,
                         schedules.cloned(),
                         structure,
+                        cycle,
                     )?),
                     // No hierarchy (no grid coordinates, or the system
                     // is already coarsest-sized): single-level ILU(0).

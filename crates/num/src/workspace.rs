@@ -29,6 +29,8 @@ pub struct SolverWorkspace {
     pub(crate) t: Vec<f64>,
     /// Per-block partial sums for the pooled reductions.
     pub(crate) partials: Vec<f64>,
+    /// Deflation vectors recycled across back-to-back solves.
+    pub(crate) recycle: RecycleSpace,
     pub(crate) pool: Arc<KernelPool>,
 }
 
@@ -56,6 +58,7 @@ impl SolverWorkspace {
             shat: Vec::new(),
             t: Vec::new(),
             partials: Vec::new(),
+            recycle: RecycleSpace::default(),
             pool,
         }
     }
@@ -93,9 +96,11 @@ impl SolverWorkspace {
                 buf.resize(n, 0.0);
             }
         }
+        // Two slots per block: the fused reductions (`dot2_on`) write
+        // both products' partials into one buffer.
         let blocks = n.div_ceil(crate::REDUCE_BLOCK);
-        if self.partials.len() < blocks {
-            self.partials.resize(blocks, 0.0);
+        if self.partials.len() < 2 * blocks {
+            self.partials.resize(2 * blocks, 0.0);
         }
     }
 
@@ -103,6 +108,49 @@ impl SolverWorkspace {
     pub fn order(&self) -> usize {
         self.r.len()
     }
+
+    /// Drops every recycled deflation vector.
+    ///
+    /// The recycle space is only useful while consecutive solves share
+    /// (approximately) the same operator — the backward-Euler sub-steps
+    /// of one transient step. Callers must clear it whenever the
+    /// operator changes qualitatively (a flow update rebuilds the
+    /// conductance network; see `ThermalModel::set_flow`). Stale vectors
+    /// are never *incorrect* — projection recomputes `A·u` fresh each
+    /// solve — but they waste matvecs on unhelpful directions.
+    pub fn clear_recycle(&mut self) {
+        self.recycle.u.clear();
+    }
+
+    /// Number of deflation vectors currently held for recycling.
+    pub fn recycle_len(&self) -> usize {
+        self.recycle.u.len()
+    }
+}
+
+/// Deflation space recycled across back-to-back [`BiCgStab`] solves
+/// (GCRO-style, but rebuilt cheaply each solve).
+///
+/// `u` holds up to `BiCgStab::recycle` unit-norm solution directions
+/// harvested from previous solves, oldest first. At the start of a
+/// recycled solve their operator images `A·u` are recomputed fresh (so
+/// a drifting operator — the per-sub-step diagonal shift — never makes
+/// the projection wrong, only less effective), orthonormalized into the
+/// `su`/`sw` scratch pairs, and projected out of the initial residual.
+/// Everything runs on the workspace pool with fixed-block reductions,
+/// so recycling preserves the thread-count determinism contract.
+///
+/// [`BiCgStab`]: crate::BiCgStab
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RecycleSpace {
+    /// Harvested unit-norm solution directions, oldest first.
+    pub u: Vec<Vec<f64>>,
+    /// Snapshot of the initial guess, for harvesting `x − x₀`.
+    pub x0: Vec<f64>,
+    /// Orthonormalized search directions (per-solve scratch).
+    pub su: Vec<Vec<f64>>,
+    /// Their orthonormalized operator images (per-solve scratch).
+    pub sw: Vec<Vec<f64>>,
 }
 
 /// Per-level scratch for the multigrid V-cycle, preallocated at

@@ -230,6 +230,10 @@ pub struct ThermalModel {
     /// converged sub-steps (default on; see
     /// [`set_transient_warm_seed`](Self::set_transient_warm_seed)).
     transient_warm_seed: bool,
+    /// Recycle deflation vectors across transient sub-steps when the
+    /// config's `recycle` knob is positive (default on; see
+    /// [`set_transient_recycle`](Self::set_transient_recycle)).
+    transient_recycle: bool,
     /// Krylov iterations spent by the most recent [`step`](Self::step).
     last_step_iterations: usize,
 }
@@ -255,6 +259,7 @@ impl Clone for ThermalModel {
             steady_precond: None,
             be_cache: None,
             transient_warm_seed: self.transient_warm_seed,
+            transient_recycle: self.transient_recycle,
             last_step_iterations: 0,
         }
     }
@@ -304,6 +309,7 @@ impl ThermalModel {
             steady_precond: None,
             be_cache: None,
             transient_warm_seed: true,
+            transient_recycle: true,
             last_step_iterations: 0,
         }
     }
@@ -340,6 +346,20 @@ impl ThermalModel {
     /// the solver tolerance either way, only iteration counts change.
     pub fn set_transient_warm_seed(&mut self, on: bool) {
         self.transient_warm_seed = on;
+    }
+
+    /// Ablation/diagnostic knob: recycle deflation vectors across
+    /// transient sub-steps when the config's
+    /// [`recycle`](crate::SolverConfig::recycle) knob is positive
+    /// (default **on**). Turning it off runs every sub-step as an
+    /// independent Krylov solve and drops any held vectors; converged
+    /// temperatures agree within the solver tolerance either way, only
+    /// iteration counts change.
+    pub fn set_transient_recycle(&mut self, on: bool) {
+        self.transient_recycle = on;
+        if !on {
+            self.workspace.clear_recycle();
+        }
     }
 
     /// Krylov iterations spent by the most recent [`step`](Self::step)
@@ -404,6 +424,12 @@ impl ThermalModel {
         self.flow = Some(flow);
         self.steady_precond = None;
         self.be_cache = None;
+        // The recycled deflation directions were harvested against the
+        // old flow's operator; projection against the new one would
+        // waste its matvecs (it is never incorrect — see
+        // `SolverWorkspace::clear_recycle` — but a flow change is the
+        // qualitative operator change that makes them useless).
+        self.workspace.clear_recycle();
         Ok(())
     }
 
@@ -526,11 +552,18 @@ impl ThermalModel {
             self.rhs_buf[i] = power[i] + self.b0[i];
         }
         if self.steady_precond.is_none() {
-            self.steady_precond = Some(self.skeleton.config.solver.preconditioner.build_on(
-                &self.g,
-                Arc::clone(&self.pool),
-                Some(&self.skeleton.schedules),
-            )?);
+            self.steady_precond = Some(
+                self.skeleton
+                    .config
+                    .solver
+                    .preconditioner
+                    .build_with_cycle_on(
+                        &self.g,
+                        Arc::clone(&self.pool),
+                        Some(&self.skeleton.schedules),
+                        self.skeleton.config.solver.mg_cycle,
+                    )?,
+            );
         }
         let precond = self
             .steady_precond
@@ -549,23 +582,24 @@ impl ThermalModel {
                 x0
             }
         };
+        // The steady operator G is not the transient C/h + G the recycle
+        // space was harvested against; recycling here would spend matvecs
+        // on directions from the wrong system (and pollute the ring), so
+        // the steady solve always runs with recycling off.
+        let solver = BiCgStab {
+            recycle: 0,
+            ..self.solver
+        };
         // Backend dispatch: the stencil view walks the same entries in
         // the same order as CSR, so the iterates are bit-identical —
         // only the per-entry index loads are gone.
         match self.stencil_pattern().cloned() {
             Some(pat) => {
                 let op = StencilOp::new(&pat, self.g.values());
-                self.solver
-                    .solve_with(&op, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
+                solver.solve_with(&op, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
             }
             None => {
-                self.solver.solve_with(
-                    &self.g,
-                    &self.rhs_buf,
-                    &mut x,
-                    precond,
-                    &mut self.workspace,
-                )?;
+                solver.solve_with(&self.g, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
             }
         }
         Ok(x)
@@ -629,6 +663,14 @@ impl ThermalModel {
         // walk the same entries in the same order, so the iterates are
         // bit-identical.
         let pat = self.stencil_pattern().cloned();
+        let solver = BiCgStab {
+            recycle: if self.transient_recycle {
+                self.solver.recycle
+            } else {
+                0
+            },
+            ..self.solver
+        };
         let be = self
             .be_cache
             .as_ref()
@@ -638,7 +680,7 @@ impl ThermalModel {
                 let op = StencilOp::new(pat, be.matrix.values());
                 run_substeps(
                     &op,
-                    &self.solver,
+                    &solver,
                     be.precond.as_ref(),
                     &self.pool,
                     self.transient_warm_seed,
@@ -655,7 +697,7 @@ impl ThermalModel {
             }
             None => run_substeps(
                 &be.matrix,
-                &self.solver,
+                &solver,
                 be.precond.as_ref(),
                 &self.pool,
                 self.transient_warm_seed,
@@ -720,11 +762,20 @@ impl ThermalModel {
         }
         // The BE operator shares the skeleton's pattern (only diagonal
         // values differ), so the skeleton's schedules apply to it too.
-        let precond = self.skeleton.config.solver.preconditioner.build_on(
-            &matrix,
-            Arc::clone(&self.pool),
-            Some(&self.skeleton.schedules),
-        )?;
+        let precond = self
+            .skeleton
+            .config
+            .solver
+            .preconditioner
+            .build_with_cycle_on(
+                &matrix,
+                Arc::clone(&self.pool),
+                Some(&self.skeleton.schedules),
+                self.skeleton.config.solver.mg_cycle,
+            )?;
+        // A different sub-step length shifts the operator diagonal; the
+        // recycled directions from the old one are no longer useful.
+        self.workspace.clear_recycle();
         self.be_cache = Some(BeCache {
             key,
             matrix,
@@ -939,6 +990,111 @@ mod tests {
             iter_pairs.iter().all(|&(s, p)| s <= p),
             "seeding must not cost iterations: {iter_pairs:?}"
         );
+    }
+
+    /// `liquid_model` with the Krylov recycling knob switched on.
+    fn recycled_model(cell_mm: f64, flow_ml: f64, recycle: usize) -> ThermalModel {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid = GridSpec::from_cell_size(
+            stack.tiers()[0].floorplan(),
+            Length::from_millimeters(cell_mm),
+        );
+        let mut cfg = ThermalConfig::default();
+        cfg.solver.recycle = recycle;
+        StackThermalBuilder::new(&stack, grid, cfg)
+            .build(Some(VolumetricFlow::from_ml_per_minute(flow_ml)))
+            .unwrap()
+    }
+
+    #[test]
+    fn recycling_changes_iterations_but_not_temperatures() {
+        // Satellite gate, mirroring the warm-seed ablation: deflating
+        // previous sub-steps' directions changes how the solver gets
+        // there, never where it lands.
+        let mut recycled = recycled_model(1.0, 400.0, 2);
+        let mut plain = recycled_model(1.0, 400.0, 2);
+        plain.set_transient_recycle(false);
+        let p_cold = core_power(&recycled, 1.0);
+        let p_hot = core_power(&recycled, 3.5);
+        let start = recycled.steady_state(&p_cold, None).unwrap();
+
+        let mut t_rec = start.clone();
+        let mut t_plain = start.clone();
+        let (mut total_rec, mut total_plain) = (0, 0);
+        for _ in 0..4 {
+            recycled
+                .step(&mut t_rec, &p_hot, Seconds::from_millis(100.0), 5)
+                .unwrap();
+            plain
+                .step(&mut t_plain, &p_hot, Seconds::from_millis(100.0), 5)
+                .unwrap();
+            total_rec += recycled.last_step_iterations();
+            total_plain += plain.last_step_iterations();
+            for (a, b) in t_rec.iter().zip(&t_plain) {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
+        // Iteration economics are config-dependent (deflation is partly
+        // redundant with the warm seed at coarse grids) and gated where
+        // they matter, in BENCH_transient.json; here the contract is
+        // that recycling stays in the same cost regime and never changes
+        // where the solver lands.
+        assert!(
+            total_rec <= total_plain + total_plain / 5,
+            "recycling left the iteration regime: {total_rec} vs {total_plain}"
+        );
+        assert!(
+            recycled.workspace.recycle_len() > 0,
+            "transient solves must harvest deflation vectors"
+        );
+        assert_eq!(
+            plain.workspace.recycle_len(),
+            0,
+            "the ablation path must leave the ring empty"
+        );
+    }
+
+    #[test]
+    fn flow_changes_drop_the_recycle_space() {
+        // Regression gate for the invalidation contract: set_flow is the
+        // operator change that makes held deflation vectors useless, and
+        // must clear them; post-change results agree with a fresh model
+        // that never recycled across the change.
+        let mut model = recycled_model(1.0, 400.0, 2);
+        let p_cold = core_power(&model, 1.0);
+        // Step against a hotter power map than the starting steady state
+        // so the sub-steps actually solve (and therefore harvest).
+        let p = core_power(&model, 3.0);
+        let start = model.steady_state(&p_cold, None).unwrap();
+        let mut temps = start.clone();
+        model
+            .step(&mut temps, &p, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        assert!(model.workspace.recycle_len() > 0, "steps must harvest");
+
+        model
+            .set_flow(VolumetricFlow::from_ml_per_minute(700.0))
+            .unwrap();
+        assert_eq!(
+            model.workspace.recycle_len(),
+            0,
+            "set_flow must drop recycled vectors"
+        );
+
+        let mut temps_fresh = temps.clone();
+        model
+            .step(&mut temps, &p, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        let mut fresh = recycled_model(1.0, 700.0, 2);
+        fresh
+            .step(&mut temps_fresh, &p, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        // The fresh model never saw the 400 ml/min operator, so any
+        // divergence beyond tolerance would mean stale directions leaked
+        // through the flow change.
+        for (a, b) in temps.iter().zip(&temps_fresh) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
     }
 
     /// Builds the same model twice, once per operator backend.

@@ -35,6 +35,10 @@ fn main() {
             "Fig. 8 (2-layer)",
             figures::fig8(SystemKind::TwoLayer, duration),
         ),
+        (
+            "Fault study (2-layer)",
+            figures::fig_faults(SystemKind::TwoLayer, duration),
+        ),
     ] {
         println!("{sep}\n{name}\n{sep}");
         println!("{text}");

@@ -1,0 +1,160 @@
+//! Fault-injection regression smoke for CI: gates the `vfc_faults`
+//! replay layer and the solver/engine graceful-degradation ladder with
+//! exact, timing-free assertions (mirrors `transient_smoke`, which
+//! gates the healthy transient path).
+//!
+//! * a pump failure on the fine 0.5 mm grid — a hard step down to 30 %
+//!   flow plus a clogging channel and noisy sensors — completes the
+//!   full engine run end to end with zero panics, runs hotter than the
+//!   healthy plant, and drains fault events into telemetry;
+//! * the faulted scenario honours the same determinism contract as the
+//!   healthy one: an identical seed and timeline lands an **identical**
+//!   `SimReport` at 1-, 2- and 4-thread kernel pools on both the
+//!   stencil and CSR operator backends;
+//! * fault timelines are configuration, not execution knobs: a faulted
+//!   config's cache key differs from the healthy key, while an *empty*
+//!   timeline (any seed) leaves the key byte-identical — healthy
+//!   results cached before the fault subsystem existed stay valid;
+//! * under `VFC_TELEMETRY=counters`/`spans`, `engine.fault_events` is
+//!   non-zero after the faulted run and the recovery-ladder counters
+//!   (`solver.retries`, `solver.escalations`) stay at zero — a pump
+//!   derating must degrade cooling, not break the solver.
+//!
+//! CI runs this binary twice — plain and under `VFC_TELEMETRY=spans` —
+//! so the same gates also prove telemetry does not perturb a faulted
+//! run.
+
+use vfc::num::{KernelPool, OperatorBackend};
+use vfc::obs;
+use vfc::prelude::*;
+use vfc::sim::{ChannelClog, FaultTimeline, PumpFault, SensorFault};
+use vfc::units::{Length, Seconds};
+use vfc::workload::Benchmark;
+
+/// The pump-degradation trace every gate replays: flow steps down to
+/// 30 % at 1 s, cavity 0 clogs to half conductance over 2–2.5 s, and
+/// the sensors read 0.3 °C of seeded Gaussian noise throughout.
+fn pump_failure_timeline() -> FaultTimeline {
+    FaultTimeline::new(42)
+        .with_pump(PumpFault::Step {
+            at_s: 1.0,
+            level: 0.3,
+        })
+        .with_clog(ChannelClog {
+            cavity: 0,
+            start_s: 2.0,
+            ramp_s: 0.5,
+            derate: 0.5,
+        })
+        .with_sensor(SensorFault::Noise { sigma: 0.3 })
+}
+
+fn config(cell_mm: f64, backend: OperatorBackend) -> SimConfig {
+    let mut cfg = SimConfig::new(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        Benchmark::by_name("Web-med").expect("table II"),
+    )
+    .with_duration(Seconds::new(3.0))
+    .with_grid_cell(Length::from_millimeters(cell_mm));
+    cfg.thermal.solver.backend = backend;
+    cfg
+}
+
+fn run(cfg: SimConfig, threads: usize) -> SimReport {
+    let mut sim = Simulation::new(cfg).expect("build");
+    sim.set_kernel_pool(&KernelPool::new(threads));
+    sim.run().expect("run")
+}
+
+fn main() {
+    assert!(
+        OperatorBackend::env_override().is_none(),
+        "unset VFC_OPERATOR_BACKEND when running the fault smoke"
+    );
+    println!(
+        "fault smoke: pump failure to 30% flow + channel clog + sensor noise (telemetry {:?})",
+        obs::level()
+    );
+
+    // Gate 1: the hard scenario — pump failure on the fine 0.5 mm grid
+    // — completes end to end. The counter snapshot is diffed, not
+    // reset, so the gate also works with spans enabled.
+    let before = obs::snapshot();
+    let healthy = run(config(0.5, OperatorBackend::Stencil), 2);
+    let faulted = run(
+        config(0.5, OperatorBackend::Stencil).with_faults(pump_failure_timeline()),
+        2,
+    );
+    assert_eq!(healthy.samples, faulted.samples, "faulted run ended early");
+    assert_ne!(healthy, faulted, "the fault trace must perturb the run");
+    assert!(
+        faulted.max_temperature >= healthy.max_temperature,
+        "losing 70% of the coolant cannot cool the stack: {:?} < {:?}",
+        faulted.max_temperature,
+        healthy.max_temperature
+    );
+    println!(
+        "0.5 mm pump failure: completed {} samples, Tmax {:.2} C (healthy {:.2} C)",
+        faulted.samples,
+        faulted.max_temperature.value(),
+        healthy.max_temperature.value()
+    );
+
+    // Gate 2: counter discipline. Fault events drain into telemetry
+    // whenever counters are live; a pump derating degrades cooling but
+    // must not break the solver, so the recovery ladder stays cold.
+    if obs::counters_enabled() {
+        let after = obs::snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        let events = delta("engine.fault_events");
+        assert!(events > 0, "faulted run recorded no engine.fault_events");
+        assert_eq!(
+            delta("solver.retries"),
+            0,
+            "a derated pump must not trip the recovery ladder"
+        );
+        assert_eq!(delta("solver.escalations"), 0);
+        println!("telemetry: {events} fault events, recovery ladder untouched");
+    } else {
+        println!("telemetry off: counter gates skipped (CI re-runs this under spans)");
+    }
+
+    // Gate 3: determinism. The seeded timeline is plain configuration,
+    // so the faulted report is identical across thread counts and
+    // operator backends — same contract the healthy engine honours.
+    // Coarser 2 mm grid: six full runs.
+    let faulted_cfg = |backend| config(2.0, backend).with_faults(pump_failure_timeline());
+    let reference = run(faulted_cfg(OperatorBackend::Stencil), 1);
+    for backend in [OperatorBackend::Stencil, OperatorBackend::Csr] {
+        for threads in [1usize, 2, 4] {
+            let got = run(faulted_cfg(backend), threads);
+            assert_eq!(
+                got, reference,
+                "faulted run diverged on {backend:?}/{threads} threads"
+            );
+        }
+    }
+    println!("determinism: faulted SimReport identical across 1/2/4 threads x stencil/CSR");
+
+    // Gate 4: cache-key discipline. A fault timeline invalidates cached
+    // results; an empty one (whatever its seed) does not — healthy keys
+    // predate the fault subsystem and must stay byte-identical.
+    let healthy_key = config(2.0, OperatorBackend::Stencil).cache_key();
+    let faulted_key = faulted_cfg(OperatorBackend::Stencil).cache_key();
+    let empty_key = config(2.0, OperatorBackend::Stencil)
+        .with_faults(FaultTimeline::new(7))
+        .cache_key();
+    assert_ne!(
+        healthy_key, faulted_key,
+        "fault timeline must enter the cache key"
+    );
+    assert_eq!(
+        healthy_key, empty_key,
+        "an empty timeline must leave healthy cache keys untouched"
+    );
+    println!("cache keys: faulted {faulted_key:#018x} != healthy {healthy_key:#018x}, empty timeline is free");
+    println!("ok: pump failure completes, deterministic across threads/backends, keys honest");
+}

@@ -1,0 +1,19 @@
+//! Fault study: the liquid-cooled paper policies under a
+//! pump-degradation trace (40 % flow sag, a clogging cavity, noisy
+//! sensors), healthy vs degraded side by side.
+//!
+//! Usage: fig_faults `<duration_seconds>` `[--four-layer]`
+use vfc::prelude::*;
+
+fn main() {
+    let mut duration = vfc_bench::default_duration();
+    let mut system = SystemKind::TwoLayer;
+    for a in std::env::args().skip(1) {
+        if a == "--four-layer" {
+            system = SystemKind::FourLayer;
+        } else if let Ok(v) = a.parse::<f64>() {
+            duration = Seconds::new(v);
+        }
+    }
+    print!("{}", vfc_bench::figures::fig_faults(system, duration));
+}

@@ -608,3 +608,107 @@ pub fn fig8(system: SystemKind, duration: Seconds) -> String {
     );
     s
 }
+
+/// The pump-degradation trace the fault figure replays: the pump sags
+/// to 40 % of commanded flow over the middle half of the run, cavity 0
+/// clogs to half conductance in the final quarter, and the sensors
+/// carry 0.25 °C of seeded Gaussian noise throughout.
+pub fn degraded_pump_timeline(duration: Seconds) -> vfc::sim::FaultTimeline {
+    let t = duration.value();
+    vfc::sim::FaultTimeline::new(1315)
+        .with_pump(vfc::sim::PumpFault::Degradation {
+            start_s: 0.25 * t,
+            end_s: 0.75 * t,
+            level: 0.4,
+        })
+        .with_clog(vfc::sim::ChannelClog {
+            cavity: 0,
+            start_s: 0.75 * t,
+            ramp_s: 0.1 * t,
+            derate: 0.5,
+        })
+        .with_sensor(vfc::sim::SensorFault::Noise { sigma: 0.25 })
+}
+
+/// Fault figure — the liquid-cooled paper policies under the
+/// pump-degradation trace, healthy vs degraded side by side. Runs in a
+/// separate config family (fault timelines enter the cache key), so
+/// the healthy figures above are untouched byte for byte.
+pub fn fig_faults(system: SystemKind, duration: Seconds) -> String {
+    let matrix = [
+        (PolicyKind::LoadBalancing, CoolingKind::LiquidMax),
+        (PolicyKind::ReactiveMigration, CoolingKind::LiquidMax),
+        (PolicyKind::Talb, CoolingKind::LiquidMax),
+        (PolicyKind::Talb, CoolingKind::LiquidVariable),
+    ];
+    let timeline = degraded_pump_timeline(duration);
+    let mut configs = Vec::new();
+    for &(policy, cooling) in &matrix {
+        for b in workloads() {
+            let healthy = SimConfig::new(system, cooling, policy, b).with_duration(duration);
+            configs.push(healthy.clone().with_faults(timeline.clone()));
+            configs.push(healthy);
+        }
+    }
+    let reports = run_batch(configs);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Fault study — liquid policies under pump degradation (40% sag, \
+         clogged cavity, noisy sensors), {} system, {:.0} s/run",
+        system.label(),
+        duration.value()
+    );
+    let _ = writeln!(
+        s,
+        "{:<13} {:>12} {:>12} {:>11} {:>11} {:>13} {:>12}",
+        "policy", "hotspot h%", "hotspot f%", "Tmax h C", "Tmax f C", "pump f/h", "perf f/h"
+    );
+    for (&(policy, cooling), rs) in matrix.iter().zip(reports.chunks(2 * workloads().len())) {
+        let n = rs.len() as f64 / 2.0;
+        let mut hot_h = 0.0;
+        let mut hot_f = 0.0;
+        let mut tmax_h = f64::NEG_INFINITY;
+        let mut tmax_f = f64::NEG_INFINITY;
+        let mut pump_h = 0.0;
+        let mut pump_f = 0.0;
+        let mut thr = 0.0;
+        for pair in rs.chunks(2) {
+            let (faulted, healthy) = (&pair[0], &pair[1]);
+            hot_f += faulted.hot_spot_pct / n;
+            hot_h += healthy.hot_spot_pct / n;
+            tmax_f = tmax_f.max(faulted.max_temperature.value());
+            tmax_h = tmax_h.max(healthy.max_temperature.value());
+            pump_f += faulted.pump_energy.value();
+            pump_h += healthy.pump_energy.value();
+            thr += if healthy.throughput > 0.0 {
+                faulted.throughput / healthy.throughput / n
+            } else {
+                1.0 / n
+            };
+        }
+        let star = if cooling == CoolingKind::LiquidVariable {
+            "*"
+        } else {
+            " "
+        };
+        let _ = writeln!(
+            s,
+            "{:<12}{} {:>12.1} {:>12.1} {:>11.2} {:>11.2} {:>13.3} {:>12.3}",
+            format!("{} ({})", policy.label(), cooling.label()),
+            star,
+            hot_h,
+            hot_f,
+            tmax_h,
+            tmax_f,
+            if pump_h > 0.0 { pump_f / pump_h } else { 1.0 },
+            thr
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\n(h = healthy plant, f = degraded; the variable-flow controller spends pump \
+         energy to chase the lost cooling, fixed-flow policies just run hotter)"
+    );
+    s
+}

@@ -13,18 +13,23 @@ use std::path::{Path, PathBuf};
 /// One name per instrumented subsystem — solver, preconditioner,
 /// kernel pool, thermal model, engine, sweep runner and result cache.
 pub const STANDARD_COUNTERS: &[&str] = &[
+    "engine.fault_events",
     "engine.samples",
     "pool.barriers",
     "pool.broadcasts",
     "precond.applies",
     "precond.vcycles",
+    "runner.cache.corrupt_evictions",
     "runner.cache.disk_promotions",
     "runner.cache.evictions",
     "runner.cache.hits",
     "runner.cache.misses",
     "runner.cache.stores",
+    "runner.job_retries",
     "runner.jobs",
+    "solver.escalations",
     "solver.iterations",
+    "solver.retries",
     "solver.solves",
     "thermal.flow_patches",
     "thermal.steady_solves",

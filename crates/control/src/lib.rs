@@ -15,6 +15,13 @@
 //! temperature, solves the mixed boundary problem, and recovers the
 //! per-core power budgets whose normalized inverses weight the scheduler
 //! queues (Sec. IV, "Job Scheduling").
+//!
+//! The controller trusts its inputs: under injected sensor faults
+//! (`vfc_faults`) the engine feeds it the *observed* — possibly noisy,
+//! stuck or stale — temperatures, never the plant truth, so a corrupted
+//! sensor degrades control quality exactly as it would on hardware.
+//! Commanded flow is likewise the controller's belief; an injected pump
+//! fault derates what the plant actually receives downstream of it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -60,6 +60,7 @@
 //! | [`sched`] | multi-queue policies: LB, Mig., TALB |
 //! | [`forecast`] | ARMA + SPRT |
 //! | [`control`] | characterization, LUT, flow controller |
+//! | [`faults`] | seeded pump/clog/sensor fault timelines |
 //! | [`sim`] | the co-simulation engine |
 //! | [`runner`] | sweep specs, work-stealing executor, result cache |
 //! | [`obs`] | counters, gauges, span timers (`VFC_TELEMETRY`) |
@@ -72,6 +73,7 @@ mod experiment;
 pub use self::experiment::{paper_policy_matrix, Experiment};
 
 pub use vfc_control as control;
+pub use vfc_faults as faults;
 pub use vfc_floorplan as floorplan;
 pub use vfc_forecast as forecast;
 pub use vfc_liquid as liquid;

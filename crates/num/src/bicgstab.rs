@@ -62,8 +62,11 @@ impl BiCgStab {
     ///
     /// [`NumError::DimensionMismatch`] for wrong lengths,
     /// [`NumError::NoConvergence`] past the iteration cap, and
-    /// [`NumError::Breakdown`] if an inner product vanishes (the caller may
-    /// retry from a different initial guess).
+    /// [`NumError::Breakdown`] if an inner product vanishes. On either
+    /// failure `x` holds the lowest-residual iterate observed during
+    /// the solve — never a mid-iteration partial update — so the caller
+    /// can use it as a warm start for a retry (a stronger
+    /// preconditioner, a shorter time step).
     pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> Result<SolveInfo, NumError> {
         let m = JacobiPreconditioner::new(a);
         self.solve_with(a, b, x, &m, &mut SolverWorkspace::new())
@@ -125,6 +128,7 @@ impl BiCgStab {
             phat,
             shat,
             t,
+            best,
             partials,
             recycle,
             ..
@@ -132,6 +136,7 @@ impl BiCgStab {
         let (r, r0) = (&mut r[..n], &mut r0[..n]);
         let (v, p) = (&mut v[..n], &mut p[..n]);
         let (phat, shat, t) = (&mut phat[..n], &mut shat[..n], &mut t[..n]);
+        let best = &mut best[..n];
 
         let b_norm = norm2_on(&pool, b, partials);
         if b_norm == 0.0 {
@@ -162,6 +167,10 @@ impl BiCgStab {
         // workspace may hold a previous solve's vectors).
         v.fill(0.0);
         p.fill(0.0);
+        // Lowest observed (recursive) residual and the iterate it
+        // belongs to, kept so a failed solve still hands the caller a
+        // usable vector (see `NumError::Breakdown`).
+        let mut best_res = f64::INFINITY;
 
         let result = 'solve: {
             for it in 0..self.max_iterations {
@@ -170,6 +179,10 @@ impl BiCgStab {
                 // its separate reduction.
                 let (rr, rho_new) = dot2_on(&pool, r, r, r0, r, partials);
                 let res = rr.sqrt() / b_norm;
+                if res < best_res {
+                    best_res = res;
+                    best.copy_from_slice(x);
+                }
                 if res <= self.tolerance {
                     break 'solve Ok(SolveInfo {
                         iterations: it,
@@ -265,6 +278,31 @@ impl BiCgStab {
                 iterations: self.max_iterations,
                 residual: norm2_on(&pool, r, partials) / b_norm,
             })
+        };
+
+        // On failure, hand back the lowest-residual iterate observed
+        // instead of whatever partial update the failure interrupted —
+        // a breakdown can leave x mid-iteration. This is the contract
+        // documented on `NumError::Breakdown`; successful solves never
+        // touch x here.
+        let result = match result {
+            Err(NumError::NoConvergence {
+                iterations,
+                residual,
+            }) if best_res < residual => {
+                x.copy_from_slice(best);
+                Err(NumError::NoConvergence {
+                    iterations,
+                    residual: best_res,
+                })
+            }
+            Err(err @ NumError::Breakdown { .. }) => {
+                if best_res.is_finite() {
+                    x.copy_from_slice(best);
+                }
+                Err(err)
+            }
+            other => other,
         };
 
         if self.recycle > 0 && result.is_ok() {
@@ -555,6 +593,63 @@ mod tests {
         for (got, want) in x_ilu.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-6, "{got} vs {want}");
         }
+    }
+
+    #[test]
+    fn failed_solves_return_the_best_iterate() {
+        // The unpreconditioned diffusion chain converges steadily but
+        // needs far more iterations than a small cap allows, so a
+        // capped run fails with NoConvergence — and must still hand
+        // back the lowest-residual iterate it saw, not the last
+        // (possibly worse) one.
+        let n = 500;
+        let a = advection_diffusion(n, 0.5);
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.01).sin()).collect();
+        let rhs = a.matvec(&x_true);
+        let id = crate::IdentityPreconditioner::new(n);
+        let capped = |cap: usize| {
+            let solver = BiCgStab {
+                max_iterations: cap,
+                ..BiCgStab::default()
+            };
+            let mut x = vec![0.0; n];
+            let err = solver
+                .solve_with(&a, &rhs, &mut x, &id, &mut SolverWorkspace::new())
+                .unwrap_err();
+            match err {
+                NumError::NoConvergence { residual, .. } => (x, residual),
+                other => panic!("expected NoConvergence, got {other:?}"),
+            }
+        };
+        let (x10, res10) = capped(10);
+        let (x30, res30) = capped(30);
+        // The zero warm start scores relative residual 1.0 at iteration
+        // 0, so the reported best can only improve on it; and a longer
+        // run observes a superset of iterates, so its best is no worse.
+        assert!(res10 < 1.0, "no progress recorded: {res10}");
+        assert!(res30 <= res10, "best residual must be monotone in the cap");
+        assert!(x10.iter().any(|&v| v != 0.0), "iterate was not returned");
+        assert!(x30.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn breakdown_returns_the_best_iterate_not_garbage() {
+        // The 2x2 rotation annihilates r0·v on the first iteration —
+        // a genuine Breakdown before any x update. The contract says
+        // the caller gets the best iterate seen, which here is the warm
+        // start itself.
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 1, 1.0);
+        b.add(1, 0, -1.0);
+        let a = b.build();
+        let id = crate::IdentityPreconditioner::new(2);
+        let mut x = vec![0.5, -0.25];
+        let warm = x.clone();
+        let err = BiCgStab::default()
+            .solve_with(&a, &[1.0, 0.0], &mut x, &id, &mut SolverWorkspace::new())
+            .unwrap_err();
+        assert!(matches!(err, NumError::Breakdown { iterations: 0 }));
+        assert_eq!(x, warm, "breakdown must preserve the best-seen iterate");
     }
 
     #[test]

@@ -9,10 +9,15 @@ pub enum NumError {
         pivot: usize,
     },
     /// An iterative solver failed to reach the requested tolerance.
+    ///
+    /// The solution vector carries the same best-iterate guarantee as
+    /// [`Breakdown`](Self::Breakdown): on return it holds the
+    /// lowest-residual iterate observed, and `residual` reports that
+    /// iterate's relative residual.
     NoConvergence {
         /// Iterations performed before giving up.
         iterations: usize,
-        /// Relative residual at the last iteration.
+        /// Relative residual of the returned (best observed) iterate.
         residual: f64,
     },
     /// Inputs had inconsistent dimensions.
@@ -22,6 +27,14 @@ pub enum NumError {
     },
     /// The iterative method broke down (division by a vanishing inner
     /// product), typically caused by a badly conditioned system.
+    ///
+    /// **Contract:** on return the caller's solution vector holds the
+    /// lowest-residual iterate the solve observed — never a
+    /// mid-iteration partial update. At worst that is the caller's own
+    /// warm start (when the breakdown hit before any progress), so the
+    /// vector is always usable: recovery paths warm-start a retry from
+    /// it under a stronger preconditioner or a shorter time step (see
+    /// the thermal layer's escalation ladder).
     Breakdown {
         /// Iteration at which the breakdown occurred.
         iterations: usize,

@@ -27,6 +27,9 @@ pub struct SolverWorkspace {
     pub(crate) phat: Vec<f64>,
     pub(crate) shat: Vec<f64>,
     pub(crate) t: Vec<f64>,
+    /// Lowest-residual iterate seen so far, returned to the caller when
+    /// a solve fails (see `NumError::Breakdown`'s contract).
+    pub(crate) best: Vec<f64>,
     /// Per-block partial sums for the pooled reductions.
     pub(crate) partials: Vec<f64>,
     /// Deflation vectors recycled across back-to-back solves.
@@ -57,6 +60,7 @@ impl SolverWorkspace {
             phat: Vec::new(),
             shat: Vec::new(),
             t: Vec::new(),
+            best: Vec::new(),
             partials: Vec::new(),
             recycle: RecycleSpace::default(),
             pool,
@@ -91,6 +95,7 @@ impl SolverWorkspace {
             &mut self.phat,
             &mut self.shat,
             &mut self.t,
+            &mut self.best,
         ] {
             if buf.len() < n {
                 buf.resize(n, 0.0);

@@ -11,9 +11,12 @@
 //!   `all_figures` runs — skip already-simulated cells.
 //!
 //! Disk entries are versioned ([`DISK_FORMAT_VERSION`]); an entry with
-//! an unknown version or a parse failure is treated as a miss and
-//! overwritten, never trusted. The config hash itself is versioned on
-//! the `vfc_sim` side, so engine changes invalidate old keys outright.
+//! an unknown version or a parse failure is treated as a miss, **evicted
+//! from disk** (so the next store rewrites it cleanly) and counted
+//! ([`ResultCache::corrupt_evictions`], `runner.cache.corrupt_evictions`)
+//! — never trusted, never surfaced as an error. The config hash itself
+//! is versioned on the `vfc_sim` side, so engine changes invalidate old
+//! keys outright.
 //!
 //! [`SimConfig::cache_key`]: vfc_sim::SimConfig::cache_key
 
@@ -214,6 +217,17 @@ impl ResultCache {
         })
     }
 
+    /// Corrupt entry files evicted on the *read* path by this instance:
+    /// unparseable JSON, a key that does not match the filename, or an
+    /// unreadable file. Each was treated as a plain miss (the cell
+    /// re-simulates), deleted so the next store rewrites it cleanly, and
+    /// counted — never propagated as an error.
+    pub fn corrupt_evictions(&self) -> u64 {
+        self.disk.as_ref().map_or(0, |disk| {
+            disk.corrupt.load(std::sync::atomic::Ordering::Relaxed)
+        })
+    }
+
     /// Number of in-memory entries.
     pub fn len(&self) -> usize {
         self.memory.lock().len()
@@ -244,6 +258,10 @@ struct DiskStore {
     /// [`ResultCache::evictions`] and the `runner.cache.evictions`
     /// telemetry counter).
     evicted: std::sync::atomic::AtomicU64,
+    /// Corrupt entry files evicted on the read path (surfaced via
+    /// [`ResultCache::corrupt_evictions`] and the
+    /// `runner.cache.corrupt_evictions` telemetry counter).
+    corrupt: std::sync::atomic::AtomicU64,
 }
 
 impl DiskStore {
@@ -254,6 +272,7 @@ impl DiskStore {
             max_bytes,
             tracked_bytes: Mutex::new(None),
             evicted: std::sync::atomic::AtomicU64::new(0),
+            corrupt: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -266,15 +285,44 @@ impl DiskStore {
     }
 
     fn load(&self, key: u64) -> Option<SimReport> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        let doc = JsonValue::parse(&text).ok()?;
-        if u64_member(&doc, "cache entry", "version").ok()? != DISK_FORMAT_VERSION {
-            return None;
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            // Absent file: the ordinary cold miss, nothing to clean up.
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return None,
+            // Present but unreadable (non-UTF-8, permissions): as good
+            // as corrupt.
+            Err(_) => return self.evict_corrupt(&path),
+        };
+        let decode = || -> Option<SimReport> {
+            let doc = JsonValue::parse(&text).ok()?;
+            if u64_member(&doc, "cache entry", "version").ok()? != DISK_FORMAT_VERSION {
+                return None;
+            }
+            if u64::from_str_radix(&string_member(&doc, "cache entry", "key").ok()?, 16).ok()?
+                != key
+            {
+                return None;
+            }
+            SimReport::from_json(doc.get("report")?).ok()
+        };
+        match decode() {
+            Some(report) => Some(report),
+            None => self.evict_corrupt(&path),
         }
-        if u64::from_str_radix(&string_member(&doc, "cache entry", "key").ok()?, 16).ok()? != key {
-            return None;
-        }
-        SimReport::from_json(doc.get("report")?).ok()
+    }
+
+    /// Read-path handling of an entry that exists but cannot be trusted
+    /// (unparseable, wrong key, stale format, unreadable): treat it as a
+    /// miss, delete it (best-effort) so the next store rewrites it
+    /// cleanly, and count it. Returning `Option` keeps every caller on
+    /// the miss path — corruption is never an error.
+    fn evict_corrupt(&self, path: &Path) -> Option<SimReport> {
+        let _ = std::fs::remove_file(path);
+        self.corrupt
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        vfc_obs::counter_add("runner.cache.corrupt_evictions", 1);
+        None
     }
 
     fn store(&self, key: u64, report: &SimReport) -> Result<(), RunnerError> {
@@ -508,13 +556,25 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_entries_are_misses() {
+    fn corrupt_disk_entries_are_evicted_counted_misses() {
         let dir = temp_dir("corrupt");
         let cache = ResultCache::on_disk(&dir);
         cache.insert(7, &report("ok")).unwrap();
-        std::fs::write(dir.join(format!("{:016x}.json", 7)), "{not json").unwrap();
+        let entry = dir.join(format!("{:016x}.json", 7));
+        std::fs::write(&entry, "{not json").unwrap();
         let fresh = ResultCache::on_disk(&dir);
+        assert!(fresh.get(7).is_none(), "corruption is a miss");
+        assert_eq!(fresh.corrupt_evictions(), 1, "and it is counted");
+        assert!(!entry.exists(), "the bad file is gone");
+        // With the debris cleared, re-reading is now a plain (uncounted)
+        // cold miss, and a fresh store round-trips again.
         assert!(fresh.get(7).is_none());
+        assert_eq!(fresh.corrupt_evictions(), 1);
+        fresh.insert(7, &report("rewritten")).unwrap();
+        assert_eq!(
+            ResultCache::on_disk(&dir).get(7).unwrap().label,
+            "rewritten"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -76,6 +76,12 @@ pub struct SweepStats {
     /// ([`CACHE_MAX_MB_ENV`]); previously silent, now surfaced here and
     /// in the `sweep` CLI summary.
     pub cache_evictions: u64,
+    /// Corrupt disk-cache entries evicted on the read path (unparseable
+    /// JSON → treated as a miss, deleted and counted — never an error).
+    pub cache_corrupt_evictions: u64,
+    /// Transient job failures that were retried (bounded per-job budget;
+    /// see [`RunnerError::is_transient`]).
+    pub job_retries: u64,
 }
 
 impl SweepStats {
@@ -102,6 +108,12 @@ pub struct SweepRunner {
     cache_hits: AtomicU64,
     executed: AtomicU64,
     failures: AtomicU64,
+    job_retries: AtomicU64,
+    /// Test seam: queued errors served (front first) in place of the
+    /// next simulation attempts, exercising the retry path without a
+    /// fault-prone filesystem.
+    #[cfg(test)]
+    injected_failures: parking_lot::Mutex<std::collections::VecDeque<RunnerError>>,
 }
 
 impl Default for SweepRunner {
@@ -131,6 +143,9 @@ impl SweepRunner {
             cache_hits: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            job_retries: AtomicU64::new(0),
+            #[cfg(test)]
+            injected_failures: parking_lot::Mutex::new(std::collections::VecDeque::new()),
         }
     }
 
@@ -152,6 +167,8 @@ impl SweepRunner {
             executed: self.executed.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             cache_evictions: self.cache.evictions(),
+            cache_corrupt_evictions: self.cache.corrupt_evictions(),
+            job_retries: self.job_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -267,7 +284,8 @@ impl SweepRunner {
         results
     }
 
-    /// One cell: cache lookup, else simulate and store.
+    /// One cell: cache lookup, else simulate (with bounded retry for
+    /// transient failures) and store.
     fn run_one(&self, cfg: SimConfig) -> Result<SimReport, RunnerError> {
         let _span = vfc_obs::span("runner.job");
         let key = cfg.cache_key();
@@ -277,12 +295,25 @@ impl SweepRunner {
         }
         self.executed.fetch_add(1, Ordering::Relaxed);
         let label = cfg.label();
-        let report = Simulation::new(cfg)
-            .and_then(Simulation::run)
-            .map_err(|source| RunnerError::Sim {
-                label: label.clone(),
-                source,
-            })?;
+        // Transient failures (see `RunnerError::is_transient`) get a
+        // bounded retry with a short exponential backoff; deterministic
+        // failures surface immediately — re-running the same simulation
+        // reproduces the same error bit for bit.
+        let mut attempt = 1u32;
+        let report = loop {
+            match self.simulate(&cfg, &label) {
+                Ok(report) => break report,
+                Err(err) if err.is_transient() && attempt < MAX_JOB_ATTEMPTS => {
+                    self.job_retries.fetch_add(1, Ordering::Relaxed);
+                    vfc_obs::counter_add("runner.job_retries", 1);
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        JOB_RETRY_BACKOFF_MS << (attempt - 1),
+                    ));
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        };
         // Best-effort: a full disk or read-only checkout must not fail
         // the sweep — the result is already in hand (and in memory).
         if let Err(e) = self.cache.insert(key, &report) {
@@ -290,7 +321,37 @@ impl SweepRunner {
         }
         Ok(report)
     }
+
+    /// One simulation attempt (the retry unit).
+    fn simulate(&self, cfg: &SimConfig, label: &str) -> Result<SimReport, RunnerError> {
+        #[cfg(test)]
+        if let Some(err) = self.injected_failures.lock().pop_front() {
+            return Err(err);
+        }
+        Simulation::new(cfg.clone())
+            .and_then(Simulation::run)
+            .map_err(|source| RunnerError::Sim {
+                label: label.to_string(),
+                source,
+            })
+    }
+
+    /// Queues errors to be served in place of the next simulation
+    /// attempts (front first) — the retry path's test seam.
+    #[cfg(test)]
+    fn inject_failures(&self, errors: impl IntoIterator<Item = RunnerError>) {
+        self.injected_failures.lock().extend(errors);
+    }
 }
+
+/// Attempts per job (1 initial + up to 2 retries) for transient
+/// failures.
+const MAX_JOB_ATTEMPTS: u32 = 3;
+
+/// First-retry backoff; doubles per subsequent retry. Short on purpose:
+/// the transient failures worth retrying (filesystem blips) clear in
+/// milliseconds, and a sweep worker sleeping is a core idle.
+const JOB_RETRY_BACKOFF_MS: u64 = 10;
 
 #[cfg(test)]
 mod tests {
@@ -377,6 +438,51 @@ mod tests {
         assert!(matches!(&out[0], Err(RunnerError::Sim { .. })));
         assert!(out[1].is_ok());
         assert_eq!(runner.stats().failures, 1);
+    }
+
+    fn transient_err() -> RunnerError {
+        RunnerError::Io {
+            context: "injected".into(),
+            source: std::io::Error::new(std::io::ErrorKind::Interrupted, "blip"),
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_and_then_succeed() {
+        let runner = SweepRunner::new();
+        let cfg = tiny_spec().expand().remove(0);
+        // Two transient blips, then the real simulation runs.
+        runner.inject_failures([transient_err(), transient_err()]);
+        let out = runner.try_run(vec![cfg]);
+        assert!(out[0].is_ok(), "third attempt succeeds: {:?}", out[0]);
+        let stats = runner.stats();
+        assert_eq!(stats.job_retries, 2);
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn persistent_transient_failures_exhaust_the_attempt_budget() {
+        let runner = SweepRunner::new();
+        let cfg = tiny_spec().expand().remove(0);
+        runner.inject_failures([transient_err(), transient_err(), transient_err()]);
+        let out = runner.try_run(vec![cfg]);
+        assert!(matches!(&out[0], Err(RunnerError::Io { .. })));
+        let stats = runner.stats();
+        assert_eq!(stats.job_retries, 2, "1 attempt + 2 retries, then give up");
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn deterministic_failures_never_retry() {
+        let runner = SweepRunner::new();
+        let cfg = tiny_spec().expand().remove(0);
+        runner.inject_failures([RunnerError::Parse {
+            context: "injected".into(),
+            detail: "deterministic".into(),
+        }]);
+        let out = runner.try_run(vec![cfg]);
+        assert!(matches!(&out[0], Err(RunnerError::Parse { .. })));
+        assert_eq!(runner.stats().job_retries, 0);
     }
 
     #[test]

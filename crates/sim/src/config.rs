@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use vfc_faults::FaultTimeline;
 use vfc_floorplan::{ultrasparc, Stack3d};
 use vfc_liquid::{FlowSetting, Pump};
 use vfc_power::{LeakageModel, PowerModel};
@@ -142,6 +143,13 @@ pub struct SimConfig {
     pub pump: Pump,
     /// Thermal model configuration.
     pub thermal: ThermalConfig,
+    /// Fault-event timeline replayed against the run (empty = healthy).
+    /// Plain data, so fault scenarios sweep and cache like any other
+    /// configuration axis; an empty timeline leaves [`cache_key`]
+    /// byte-identical to pre-fault releases.
+    ///
+    /// [`cache_key`]: Self::cache_key
+    pub faults: FaultTimeline,
 }
 
 impl SimConfig {
@@ -187,6 +195,7 @@ impl SimConfig {
             leakage: LeakageModel::su_polynomial(),
             pump: Pump::laing_ddc(),
             thermal: ThermalConfig::default(),
+            faults: FaultTimeline::default(),
         }
     }
 
@@ -235,6 +244,12 @@ impl SimConfig {
     /// Enables per-sample series recording in the report.
     pub fn with_series(mut self, record: bool) -> Self {
         self.record_series = record;
+        self
+    }
+
+    /// Installs a fault-event timeline (fault-injection scenarios).
+    pub fn with_faults(mut self, faults: FaultTimeline) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -291,6 +306,7 @@ impl SimConfig {
             leakage,
             pump,
             thermal,
+            faults,
         } = self;
         // Hash each field through its (exact, round-trippable) debug
         // representation; `f64`'s `Debug` prints the shortest string that
@@ -325,7 +341,16 @@ impl SimConfig {
             leakage,
             pump,
             thermal,
-        ];
+        ]
+        .to_vec();
+        // The faults axis entered the config after caches existed in the
+        // wild: an empty (healthy) timeline contributes nothing, so every
+        // pre-fault key — and every healthy figure built on one — stays
+        // byte-identical without a version bump. Non-empty timelines hash
+        // like any other field.
+        if !faults.is_empty() {
+            fields.push(("faults", hash_field("faults", &format!("{faults:?}"))));
+        }
         combine_fields(&mut fields)
     }
 }
@@ -443,6 +468,39 @@ mod tests {
         };
         assert_ne!(mk(0), mk(1));
         assert_eq!(mk(2), mk(2));
+    }
+
+    #[test]
+    fn fault_timelines_perturb_cache_keys_but_empty_ones_do_not() {
+        use vfc_faults::PumpFault;
+        let base = || {
+            SimConfig::new(
+                SystemKind::TwoLayer,
+                CoolingKind::LiquidVariable,
+                PolicyKind::Talb,
+                Benchmark::by_name("gzip").unwrap(),
+            )
+        };
+        // An explicitly installed empty timeline is the healthy default:
+        // same key, so pre-fault on-disk caches keep hitting.
+        assert_eq!(
+            base().cache_key(),
+            base().with_faults(FaultTimeline::new(3)).cache_key()
+        );
+        // Any actual fault content — or a different seed on the same
+        // content — is a new cache identity.
+        let degraded = |seed| {
+            FaultTimeline::new(seed).with_pump(PumpFault::Degradation {
+                start_s: 5.0,
+                end_s: 20.0,
+                level: 0.6,
+            })
+        };
+        let k0 = base().cache_key();
+        let k1 = base().with_faults(degraded(3)).cache_key();
+        let k2 = base().with_faults(degraded(4)).cache_key();
+        assert_ne!(k0, k1);
+        assert_ne!(k1, k2);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! stepping, forecasting and flow control.
 
 use vfc_control::{balanced_power_rows, characterize_skeleton, FlowController, FlowLut};
+use vfc_faults::FaultReplay;
 use vfc_floorplan::{BlockKind, GridSpec, Stack3d};
 use vfc_forecast::TemperaturePredictor;
 use vfc_power::FixedTimeoutDpm;
@@ -46,6 +47,15 @@ pub struct Simulation {
     controller: Option<FlowController>,
     predictor: Option<TemperaturePredictor>,
     weight_table: ThermalWeightTable,
+    /// Fault-timeline replay (`None` when `cfg.faults` is empty). The
+    /// plant keeps the true state: flow faults derate what the thermal
+    /// network receives (the pump bills at its commanded setting), and
+    /// sensor faults corrupt only the *observed* core temperatures the
+    /// forecaster, controller and scheduler see — metrics and series
+    /// record the truth.
+    replay: Option<FaultReplay>,
+    /// Per-cavity clog derating buffer (all ones when healthy).
+    cavity_derates: Vec<f64>,
 }
 
 impl Simulation {
@@ -150,6 +160,7 @@ impl Simulation {
             .then(TemperaturePredictor::paper_default);
 
         let temps = family.model(active).initial_state();
+        let replay = (!cfg.faults.is_empty()).then(|| FaultReplay::new(&cfg.faults, cavities));
         Ok(Self {
             cfg,
             stack,
@@ -163,6 +174,8 @@ impl Simulation {
             controller,
             predictor,
             weight_table,
+            replay,
+            cavity_derates: vec![1.0; cavities],
         })
     }
 
@@ -265,6 +278,12 @@ impl Simulation {
             bt
         };
         let mut core_temps = block_temps.core_max_temperatures(&self.stack);
+        // What the forecaster, controller and scheduler *see*: equal to
+        // `core_temps` until a sensor fault corrupts it (the plant and
+        // the metrics always keep the truth).
+        let mut observed_temps = core_temps.clone();
+        let mut sensor_truth: Vec<f64> = Vec::new();
+        let mut sensor_obs: Vec<f64> = Vec::new();
         let mut weights = self.weight_table.weights_for(max_of(&core_temps)).to_vec();
 
         let mut busy_ticks = vec![0u32; n];
@@ -284,7 +303,7 @@ impl Simulation {
             let workload_span = vfc_obs::span("engine.workload");
             for th in generator.poll(tick) {
                 let ctx = SchedContext {
-                    core_temps: &core_temps,
+                    core_temps: &observed_temps,
                     weights: &weights,
                 };
                 policy.place(th, &mut queues, &ctx);
@@ -297,7 +316,7 @@ impl Simulation {
             }
             {
                 let ctx = SchedContext {
-                    core_temps: &core_temps,
+                    core_temps: &observed_temps,
                     weights: &weights,
                 };
                 policy.rebalance(&mut queues, &ctx);
@@ -329,6 +348,14 @@ impl Simulation {
                 }
                 busy_ticks.fill(0);
 
+                // Fault replay: pump and clog faults derate the coolant
+                // the thermal network receives for this sample (the pump
+                // still bills at its commanded setting below).
+                let fault_t = tick.value() * (tick_i + 1) as f64;
+                if self.replay.is_some() {
+                    self.apply_faulted_flow(fault_t)?;
+                }
+
                 let thermal_span = vfc_obs::span("engine.thermal");
                 self.fill_power(
                     &mut power,
@@ -349,6 +376,25 @@ impl Simulation {
                 let tmax = max_of(&core_temps);
                 let gradient = block_temps.max_spatial_gradient();
                 drop(thermal_span);
+
+                // Sensor faults corrupt only the observed copy the
+                // control path reads below; everything recorded about
+                // the plant (metrics, series) stays the truth.
+                let observed_tmax = match self.replay.as_mut() {
+                    Some(replay) if replay.has_sensor_faults() => {
+                        sensor_truth.clear();
+                        sensor_truth.extend(core_temps.iter().map(|t| t.value()));
+                        replay.observe(fault_t, &sensor_truth, &mut sensor_obs);
+                        for (o, &v) in observed_temps.iter_mut().zip(&sensor_obs) {
+                            *o = Celsius::new(v);
+                        }
+                        max_of(&observed_temps)
+                    }
+                    _ => {
+                        observed_temps.copy_from_slice(&core_temps);
+                        tmax
+                    }
+                };
 
                 let pump_w = match cfg.cooling {
                     CoolingKind::Air => Watts::ZERO,
@@ -380,10 +426,10 @@ impl Simulation {
                         let _forecast_span = vfc_obs::span("engine.forecast");
                         match self.predictor.as_mut() {
                             Some(p) => {
-                                p.observe(tmax);
-                                p.forecast().unwrap_or(tmax)
+                                p.observe(observed_tmax);
+                                p.forecast().unwrap_or(observed_tmax)
                             }
-                            None => tmax, // reactive ablation
+                            None => observed_tmax, // reactive ablation
                         }
                     };
                     let setting = ctrl.step(prediction, dt);
@@ -391,7 +437,14 @@ impl Simulation {
                     flow_setting_sum += setting.index() as f64;
                     flow_samples += 1;
                 }
-                weights.copy_from_slice(self.weight_table.weights_for(tmax));
+                weights.copy_from_slice(self.weight_table.weights_for(observed_tmax));
+
+                if let Some(replay) = self.replay.as_mut() {
+                    let events = replay.drain_events();
+                    if events > 0 {
+                        vfc_obs::counter_add("engine.fault_events", events);
+                    }
+                }
             }
         }
 
@@ -430,6 +483,38 @@ impl Simulation {
             tmax_series: cfg.record_series.then_some(tmax_series),
             flow_series: (cfg.record_series && !flow_series.is_empty()).then_some(flow_series),
         })
+    }
+
+    /// Advances the fault replay to `t_s` and re-derates the active
+    /// thermal member's flow: pump faults scale the commanded flow,
+    /// clogs derate individual cavities
+    /// ([`ThermalModel::set_flow_derated`]). No-op for air cooling and
+    /// for timelines without flow faults; when every derating has
+    /// recovered to 1.0 the patch restores the healthy network exactly.
+    fn apply_faulted_flow(&mut self, t_s: f64) -> Result<(), SimError> {
+        let Some(replay) = self.replay.as_mut() else {
+            return Ok(());
+        };
+        replay.advance(t_s);
+        if !self.cfg.cooling.is_liquid() || !replay.has_flow_faults() {
+            return Ok(());
+        }
+        let setting = match self.cfg.cooling {
+            CoolingKind::Air => unreachable!("guarded by is_liquid above"),
+            CoolingKind::LiquidFixed(s) => s,
+            CoolingKind::LiquidMax => self.cfg.pump.max_setting(),
+            CoolingKind::LiquidVariable => vfc_liquid::FlowSetting::from_index(self.active),
+        };
+        let commanded = self
+            .cfg
+            .pump
+            .per_cavity_flow(setting, self.stack.cavity_count());
+        let derated = commanded * replay.pump_derate(t_s);
+        replay.cavity_derates(t_s, &mut self.cavity_derates);
+        self.family
+            .model_mut(self.active)
+            .set_flow_derated(derated, &self.cavity_derates)?;
+        Ok(())
     }
 
     /// Fills `p` with the node power vector for one interval. `p` must
@@ -795,6 +880,47 @@ mod tests {
             })
             .collect();
         assert_eq!(reports[0], reports[1], "thread count leaked into results");
+    }
+
+    #[test]
+    fn faulted_runs_complete_deterministically_and_diverge_from_healthy() {
+        use vfc_faults::{ChannelClog, FaultTimeline, PumpFault, SensorFault};
+        let base = SimConfig::new(
+            crate::SystemKind::TwoLayer,
+            CoolingKind::LiquidVariable,
+            PolicyKind::Talb,
+            Benchmark::by_name("Web-med").unwrap(),
+        )
+        .with_duration(Seconds::new(4.0))
+        .with_grid_cell(vfc_units::Length::from_millimeters(2.0));
+        let timeline = FaultTimeline::new(9)
+            .with_pump(PumpFault::Degradation {
+                start_s: 1.0,
+                end_s: 3.0,
+                level: 0.4,
+            })
+            .with_clog(ChannelClog {
+                cavity: 0,
+                start_s: 2.0,
+                ramp_s: 0.5,
+                derate: 0.5,
+            })
+            .with_sensor(SensorFault::Noise { sigma: 0.3 });
+        let faulted_cfg = base.clone().with_faults(timeline);
+
+        let healthy = Simulation::new(base).unwrap().run().unwrap();
+        let faulted = Simulation::new(faulted_cfg.clone()).unwrap().run().unwrap();
+        // The degraded coolant and noisy sensors must change the run —
+        // and losing more than half the flow cannot leave the stack
+        // cooler than the healthy plant.
+        assert_ne!(healthy, faulted);
+        assert_eq!(healthy.samples, faulted.samples);
+        assert!(faulted.max_temperature >= healthy.max_temperature);
+
+        // The seeded timeline is part of the configuration: an identical
+        // replay reproduces the report bit for bit.
+        let again = Simulation::new(faulted_cfg).unwrap().run().unwrap();
+        assert_eq!(faulted, again);
     }
 
     #[test]

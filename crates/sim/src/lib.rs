@@ -48,3 +48,4 @@ pub use self::engine::Simulation;
 pub use self::error::SimError;
 pub use self::metrics::MetricsCollector;
 pub use self::results::SimReport;
+pub use vfc_faults::{ChannelClog, FaultTimeline, PumpFault, SensorFault};

@@ -154,6 +154,13 @@ impl StackSkeleton {
         self.flow_stamps.len()
     }
 
+    /// Number of liquid cavities (0 for air-cooled stacks). Per-cavity
+    /// flow deratings — the channel-clogging fault path — index into
+    /// this range.
+    pub fn cavity_count(&self) -> usize {
+        self.cavity_faces.len()
+    }
+
     /// The pattern-derived kernel schedules (level sets, coloring,
     /// stencil decomposition) every model of this family — and every
     /// backward-Euler operator derived from one — builds its
@@ -267,6 +274,50 @@ impl FlowPatch {
                     .map(|r| area / (2.0 / h_eff + r))
                     .unwrap_or(0.0),
                 adv: g_adv,
+            })
+            .collect();
+        Self { flow, coefs }
+    }
+
+    /// Computes the patch coefficients for `flow` with a per-cavity
+    /// flow derating — the channel-clogging fault path.
+    ///
+    /// `derates[c]` scales cavity `c`'s flow before the convection and
+    /// capacity-rate correlations are evaluated; entries beyond the
+    /// slice (and an empty slice) mean 1.0, i.e. healthy. With every
+    /// derate at exactly 1.0 this delegates to [`compute`](Self::compute)
+    /// and is bit-identical to it, so one skeleton keeps serving all
+    /// pump settings whether or not faults are scheduled.
+    pub fn compute_derated(
+        skeleton: &StackSkeleton,
+        flow: VolumetricFlow,
+        derates: &[f64],
+    ) -> Self {
+        if derates.iter().all(|&d| d == 1.0) {
+            return Self::compute(skeleton, flow);
+        }
+        let lc = &skeleton.config.liquid;
+        let area = skeleton.cell_area;
+        let rows = skeleton.layout.rows() as f64;
+        let coefs = skeleton
+            .cavity_faces
+            .iter()
+            .enumerate()
+            .map(|(c, faces)| {
+                let eff = flow * derates.get(c).copied().unwrap_or(1.0);
+                let h_eff = lc.convection.effective_htc(&lc.geometry, eff);
+                let g_adv = lc.coolant.capacity_rate(eff).value() / rows;
+                CavityCoef {
+                    above: faces
+                        .above_r_area
+                        .map(|r| area / (2.0 / h_eff + r))
+                        .unwrap_or(0.0),
+                    below: faces
+                        .below_r_area
+                        .map(|r| area / (2.0 / h_eff + r))
+                        .unwrap_or(0.0),
+                    adv: g_adv,
+                }
             })
             .collect();
         Self { flow, coefs }
@@ -560,6 +611,31 @@ mod tests {
             .model(0)
             .conductance_matrix()
             .shares_structure(family.skeleton().base_matrix()));
+    }
+
+    #[test]
+    fn derated_patches_match_per_cavity_healthy_patches() {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.5));
+        let builder = StackThermalBuilder::new(&stack, grid, ThermalConfig::default());
+        let skeleton = builder.skeleton();
+        assert!(skeleton.cavity_count() >= 1);
+        let f = VolumetricFlow::from_ml_per_minute(600.0);
+
+        // All-ones derates delegate to the healthy path bit-for-bit.
+        let healthy = FlowPatch::compute(&skeleton, f);
+        let ones = vec![1.0; skeleton.cavity_count()];
+        assert_eq!(healthy, FlowPatch::compute_derated(&skeleton, f, &ones));
+        assert_eq!(healthy, FlowPatch::compute_derated(&skeleton, f, &[]));
+
+        // Derating every cavity by d is the same physics as commanding
+        // flow·d outright — only the recorded commanded flow differs.
+        let half = vec![0.5; skeleton.cavity_count()];
+        let derated = FlowPatch::compute_derated(&skeleton, f, &half);
+        let direct = FlowPatch::compute(&skeleton, f * 0.5);
+        assert_eq!(derated.coefs, direct.coefs);
+        assert_eq!(derated.flow(), f, "patch records the commanded flow");
     }
 
     #[test]

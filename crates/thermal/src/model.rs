@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use vfc_num::{
-    norm2_on, BiCgStab, CsrMatrix, KernelPool, LinearOperator, OperatorBackend, Preconditioner,
-    SolverWorkspace, StencilOp, StencilPattern,
+    norm2_on, BiCgStab, CsrMatrix, KernelPool, LinearOperator, NumError, OperatorBackend,
+    Preconditioner, PreconditionerKind, SolverWorkspace, StencilOp, StencilPattern,
 };
 use vfc_units::{Celsius, Seconds, VolumetricFlow, Watts};
 
@@ -203,6 +203,9 @@ pub struct ThermalModel {
     pub(crate) boundary_links: Vec<(usize, f64, f64)>,
     /// Current flow (`None` for air-cooled).
     flow: Option<VolumetricFlow>,
+    /// Per-cavity flow derating currently patched in (empty = healthy,
+    /// all cavities at 1.0). See [`set_flow_derated`](Self::set_flow_derated).
+    flow_derates: Vec<f64>,
     pub(crate) solver: BiCgStab,
     /// Kernel pool every solve on this model runs on (matvecs,
     /// reductions, level-scheduled preconditioner sweeps). Thread count
@@ -236,6 +239,16 @@ pub struct ThermalModel {
     transient_recycle: bool,
     /// Krylov iterations spent by the most recent [`step`](Self::step).
     last_step_iterations: usize,
+    /// Recovery-ladder override: once a solve fails and escalates, the
+    /// stronger preconditioner sticks for the model's remaining solves
+    /// (healthy systems never set this, so they are unaffected).
+    escalated_precond: Option<PreconditionerKind>,
+    /// Pre-attempt state snapshot for transient retry rollback.
+    snapshot_buf: Vec<f64>,
+    /// Recovery retries spent by the most recent solve call.
+    last_retries: u64,
+    /// Preconditioner escalations spent by the most recent solve call.
+    last_escalations: u64,
 }
 
 impl Clone for ThermalModel {
@@ -248,6 +261,7 @@ impl Clone for ThermalModel {
             b0: self.b0.clone(),
             boundary_links: self.boundary_links.clone(),
             flow: self.flow,
+            flow_derates: self.flow_derates.clone(),
             solver: self.solver,
             pool: Arc::clone(&self.pool),
             workspace: SolverWorkspace::with_pool(Arc::clone(&self.pool)),
@@ -261,6 +275,10 @@ impl Clone for ThermalModel {
             transient_warm_seed: self.transient_warm_seed,
             transient_recycle: self.transient_recycle,
             last_step_iterations: 0,
+            escalated_precond: self.escalated_precond,
+            snapshot_buf: Vec::new(),
+            last_retries: 0,
+            last_escalations: 0,
         }
     }
 }
@@ -298,6 +316,7 @@ impl ThermalModel {
             b0,
             boundary_links,
             flow,
+            flow_derates: Vec::new(),
             solver,
             workspace: SolverWorkspace::with_pool(Arc::clone(&pool)),
             pool,
@@ -311,6 +330,10 @@ impl ThermalModel {
             transient_warm_seed: true,
             transient_recycle: true,
             last_step_iterations: 0,
+            escalated_precond: None,
+            snapshot_buf: Vec::new(),
+            last_retries: 0,
+            last_escalations: 0,
         }
     }
 
@@ -408,20 +431,53 @@ impl ThermalModel {
     ///
     /// [`ThermalError::UnexpectedFlowRate`] on air-cooled models.
     pub fn set_flow(&mut self, flow: VolumetricFlow) -> Result<(), ThermalError> {
+        self.set_flow_derated(flow, &[])
+    }
+
+    /// Like [`set_flow`](Self::set_flow), but with a per-cavity
+    /// fractional flow derating (fault injection: channel clogging).
+    /// `derates[c]` scales the flow cavity `c` effectively sees for its
+    /// convection and advection couplings; missing entries and an empty
+    /// slice mean 1.0 (healthy). The commanded `flow` is still what
+    /// [`flow`](Self::flow) reports — derating models a blocked channel,
+    /// not a pump command.
+    ///
+    /// An all-ones derating is exactly `set_flow`: the healthy patch and
+    /// cache-invalidation paths are shared bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::UnexpectedFlowRate`] on air-cooled models.
+    pub fn set_flow_derated(
+        &mut self,
+        flow: VolumetricFlow,
+        derates: &[f64],
+    ) -> Result<(), ThermalError> {
         if !self.skeleton.liquid {
             return Err(ThermalError::UnexpectedFlowRate);
         }
-        if self.flow == Some(flow) {
+        let healthy = derates.iter().all(|&d| d == 1.0);
+        let same_derates = if healthy {
+            self.flow_derates.is_empty()
+        } else {
+            self.flow_derates == derates
+        };
+        if self.flow == Some(flow) && same_derates {
             return Ok(());
         }
         // Patch latency is the pump controller's actuation cost; spans
         // make it visible next to the solve times it trades against.
         let _span = vfc_obs::span("thermal.set_flow");
         vfc_obs::counter_add("thermal.flow_patches", 1);
-        let patch = FlowPatch::compute(&self.skeleton, flow);
+        let patch = FlowPatch::compute_derated(&self.skeleton, flow, derates);
         let skeleton = Arc::clone(&self.skeleton);
         skeleton.apply_patch(&patch, &mut self.g, &mut self.b0, &mut self.boundary_links);
         self.flow = Some(flow);
+        self.flow_derates = if healthy {
+            Vec::new()
+        } else {
+            derates.to_vec()
+        };
         self.steady_precond = None;
         self.be_cache = None;
         // The recycled deflation directions were harvested against the
@@ -547,28 +603,13 @@ impl ThermalModel {
         }
         let _span = vfc_obs::span("thermal.steady");
         vfc_obs::counter_add("thermal.steady_solves", 1);
+        self.last_retries = 0;
+        self.last_escalations = 0;
         self.rhs_buf.resize(n, 0.0);
         for i in 0..n {
             self.rhs_buf[i] = power[i] + self.b0[i];
         }
-        if self.steady_precond.is_none() {
-            self.steady_precond = Some(
-                self.skeleton
-                    .config
-                    .solver
-                    .preconditioner
-                    .build_with_cycle_on(
-                        &self.g,
-                        Arc::clone(&self.pool),
-                        Some(&self.skeleton.schedules),
-                        self.skeleton.config.solver.mg_cycle,
-                    )?,
-            );
-        }
-        let precond = self
-            .steady_precond
-            .as_deref()
-            .expect("factored immediately above");
+        self.ensure_steady_precond()?;
         let mut x = match warm {
             Some(w) if w.len() == n => w.to_vec(),
             _ => {
@@ -578,10 +619,56 @@ impl ThermalModel {
                 // with the flat reference temperature.
                 let mut x0 = vec![0.0; n];
                 vfc_obs::counter_add("precond.applies", 1);
-                precond.apply(&self.rhs_buf, &mut x0);
+                self.steady_precond
+                    .as_deref()
+                    .expect("factored immediately above")
+                    .apply(&self.rhs_buf, &mut x0);
                 x0
             }
         };
+        let mut outcome = self.steady_solve(&mut x);
+        // Recovery ladder: a breakdown or non-convergence leaves the
+        // best observed iterate in `x` (see `NumError::Breakdown`), so
+        // each rung warm-starts from it under a stronger preconditioner.
+        let mut rungs = escalation_rungs(self.effective_preconditioner());
+        while let Err(err) = &outcome {
+            if !is_solver_failure(err) {
+                break;
+            }
+            let Some(rung) = rungs.next() else { break };
+            self.note_retry(true);
+            self.escalated_precond = Some(rung);
+            self.steady_precond = None;
+            self.workspace.clear_recycle();
+            self.ensure_steady_precond()?;
+            outcome = self.steady_solve(&mut x);
+        }
+        outcome?;
+        Ok(x)
+    }
+
+    /// Factors the steady-state preconditioner on first use (kind per
+    /// [`effective_preconditioner`](Self::effective_preconditioner)).
+    fn ensure_steady_precond(&mut self) -> Result<(), ThermalError> {
+        if self.steady_precond.is_none() {
+            self.steady_precond = Some(self.effective_preconditioner().build_with_cycle_on(
+                &self.g,
+                Arc::clone(&self.pool),
+                Some(&self.skeleton.schedules),
+                self.skeleton.config.solver.mg_cycle,
+            )?);
+        }
+        Ok(())
+    }
+
+    /// One steady-state solve attempt against the current operator and
+    /// preconditioner; `x` is the warm start going in, the solution (or
+    /// best observed iterate on failure) coming out.
+    fn steady_solve(&mut self, x: &mut [f64]) -> Result<(), ThermalError> {
+        let precond = self
+            .steady_precond
+            .as_deref()
+            .expect("ensure_steady_precond ran");
         // The steady operator G is not the transient C/h + G the recycle
         // space was harvested against; recycling here would spend matvecs
         // on directions from the wrong system (and pollute the ring), so
@@ -596,13 +683,13 @@ impl ThermalModel {
         match self.stencil_pattern().cloned() {
             Some(pat) => {
                 let op = StencilOp::new(&pat, self.g.values());
-                solver.solve_with(&op, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
+                solver.solve_with(&op, &self.rhs_buf, x, precond, &mut self.workspace)?;
             }
             None => {
-                solver.solve_with(&self.g, &self.rhs_buf, &mut x, precond, &mut self.workspace)?;
+                solver.solve_with(&self.g, &self.rhs_buf, x, precond, &mut self.workspace)?;
             }
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Advances the transient state by `dt` using `substeps` backward-Euler
@@ -646,9 +733,9 @@ impl ThermalModel {
         }
         let _span = vfc_obs::span("thermal.step");
         vfc_obs::counter_add("thermal.steps", 1);
-        let h = dt.value() / substeps as f64;
-        self.ensure_be_cache(h)?;
         self.last_step_iterations = 0;
+        self.last_retries = 0;
+        self.last_escalations = 0;
         self.rhs_buf.resize(n, 0.0);
         // Hoist the sub-step-invariant rhs part out of the loop.
         self.base_buf.resize(n, 0.0);
@@ -659,6 +746,56 @@ impl ThermalModel {
             self.resid_buf.resize(n, 0.0);
             self.seed_buf.resize(n, 0.0);
         }
+        // Recovery ladder: a sub-step solve can leave `temps` partially
+        // advanced, so every retry rolls the state back to this snapshot
+        // before re-running the whole interval — first under escalated
+        // preconditioners, then with the sub-step length halved (twice at
+        // most). Healthy systems never fail, never retry, and are
+        // bit-identical to a ladder-free step.
+        self.snapshot_buf.resize(n, 0.0);
+        self.snapshot_buf.copy_from_slice(temps);
+        let mut rungs = escalation_rungs(self.effective_preconditioner());
+        let mut substeps_now = substeps;
+        let mut halvings = 0u32;
+        loop {
+            let h = dt.value() / substeps_now as f64;
+            self.ensure_be_cache(h)?;
+            match self.run_substeps_dispatch(temps, substeps_now) {
+                Ok(iterations) => {
+                    self.last_step_iterations = iterations;
+                    return Ok(());
+                }
+                Err(err) if is_solver_failure(&err) => {
+                    if let Some(rung) = rungs.next() {
+                        self.note_retry(true);
+                        self.escalated_precond = Some(rung);
+                        // Invalidate both caches so the stronger kind is
+                        // factored for the BE operator (and any later
+                        // steady solve) on the next attempt.
+                        self.steady_precond = None;
+                        self.be_cache = None;
+                    } else if halvings < 2 {
+                        self.note_retry(false);
+                        halvings += 1;
+                        substeps_now *= 2;
+                    } else {
+                        return Err(err);
+                    }
+                    self.workspace.clear_recycle();
+                    temps.copy_from_slice(&self.snapshot_buf);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// One full-interval transient attempt: dispatches `run_substeps`
+    /// over the cached backward-Euler operator on the effective backend.
+    fn run_substeps_dispatch(
+        &mut self,
+        temps: &mut [f64],
+        substeps: usize,
+    ) -> Result<usize, ThermalError> {
         // Backend dispatch for the backward-Euler solve; both backends
         // walk the same entries in the same order, so the iterates are
         // bit-identical.
@@ -675,7 +812,7 @@ impl ThermalModel {
             .be_cache
             .as_ref()
             .expect("ensure_be_cache populates the cache");
-        let iterations = match &pat {
+        match &pat {
             Some(pat) => {
                 let op = StencilOp::new(pat, be.matrix.values());
                 run_substeps(
@@ -693,7 +830,7 @@ impl ThermalModel {
                     &mut self.seed_buf,
                     &mut self.partials_buf,
                     &mut self.workspace,
-                )?
+                )
             }
             None => run_substeps(
                 &be.matrix,
@@ -710,10 +847,43 @@ impl ThermalModel {
                 &mut self.seed_buf,
                 &mut self.partials_buf,
                 &mut self.workspace,
-            )?,
-        };
-        self.last_step_iterations = iterations;
-        Ok(())
+            ),
+        }
+    }
+
+    /// Counts one recovery retry (and, when `escalation`, one
+    /// preconditioner escalation) in both the telemetry counters and the
+    /// per-call accessors.
+    fn note_retry(&mut self, escalation: bool) {
+        vfc_obs::counter_add("solver.retries", 1);
+        self.last_retries += 1;
+        if escalation {
+            vfc_obs::counter_add("solver.escalations", 1);
+            self.last_escalations += 1;
+        }
+    }
+
+    /// The preconditioner kind solves currently factor: the configured
+    /// one, or the strongest rung the recovery ladder has escalated to.
+    /// Escalation is sticky — once a solve on this model failed and a
+    /// stronger kind rescued it, later solves keep the stronger kind
+    /// rather than re-failing every step.
+    pub fn effective_preconditioner(&self) -> PreconditionerKind {
+        self.escalated_precond
+            .unwrap_or(self.skeleton.config.solver.preconditioner)
+    }
+
+    /// Recovery retries spent by the most recent
+    /// [`steady_state`](Self::steady_state) or [`step`](Self::step) call
+    /// (0 on a healthy solve).
+    pub fn last_recovery_retries(&self) -> u64 {
+        self.last_retries
+    }
+
+    /// Preconditioner escalations spent by the most recent
+    /// [`steady_state`](Self::steady_state) or [`step`](Self::step) call.
+    pub fn last_recovery_escalations(&self) -> u64 {
+        self.last_escalations
     }
 
     /// Maximum junction (tier-node) temperature.
@@ -762,17 +932,12 @@ impl ThermalModel {
         }
         // The BE operator shares the skeleton's pattern (only diagonal
         // values differ), so the skeleton's schedules apply to it too.
-        let precond = self
-            .skeleton
-            .config
-            .solver
-            .preconditioner
-            .build_with_cycle_on(
-                &matrix,
-                Arc::clone(&self.pool),
-                Some(&self.skeleton.schedules),
-                self.skeleton.config.solver.mg_cycle,
-            )?;
+        let precond = self.effective_preconditioner().build_with_cycle_on(
+            &matrix,
+            Arc::clone(&self.pool),
+            Some(&self.skeleton.schedules),
+            self.skeleton.config.solver.mg_cycle,
+        )?;
         // A different sub-step length shifts the operator diagonal; the
         // recycled directions from the old one are no longer useful.
         self.workspace.clear_recycle();
@@ -784,6 +949,43 @@ impl ThermalModel {
         });
         Ok(())
     }
+}
+
+/// Whether a step/steady failure is one the recovery ladder can help
+/// with: a Krylov breakdown or non-convergence. Anything else (length
+/// mismatches, singular factorizations, pattern mismatches) is a caller
+/// or configuration error that retrying cannot fix.
+fn is_solver_failure(err: &ThermalError) -> bool {
+    matches!(
+        err,
+        ThermalError::Solver(NumError::Breakdown { .. } | NumError::NoConvergence { .. })
+    )
+}
+
+/// Robustness rank of a preconditioner kind (higher = stronger on the
+/// badly conditioned systems fault scenarios produce).
+fn precond_rank(kind: PreconditionerKind) -> u8 {
+    match kind {
+        PreconditionerKind::Identity => 0,
+        PreconditionerKind::Jacobi => 1,
+        PreconditionerKind::MulticolorGs => 2,
+        PreconditionerKind::Ilu0 => 3,
+        PreconditionerKind::Multigrid => 4,
+    }
+}
+
+/// The escalation rungs above `current`, weakest first: the ladder
+/// climbs Jacobi → ILU(0) → Multigrid, skipping every rung at or below
+/// the kind already in use.
+fn escalation_rungs(current: PreconditionerKind) -> impl Iterator<Item = PreconditionerKind> {
+    let cur = precond_rank(current);
+    [
+        PreconditionerKind::Jacobi,
+        PreconditionerKind::Ilu0,
+        PreconditionerKind::Multigrid,
+    ]
+    .into_iter()
+    .filter(move |&k| precond_rank(k) > cur)
 }
 
 /// The per-sub-step backward-Euler loop, generic over the operator
@@ -1228,5 +1430,155 @@ mod tests {
                 prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use crate::{StackThermalBuilder, ThermalConfig};
+    use vfc_floorplan::{ultrasparc, GridSpec};
+    use vfc_units::{Length, Watts};
+
+    /// A 1 mm liquid model deliberately configured to fail: `kind` with
+    /// an iteration cap far below what it needs on this grid.
+    fn crippled_model(kind: PreconditionerKind, cap: usize) -> ThermalModel {
+        let stack = ultrasparc::two_layer_liquid();
+        let grid =
+            GridSpec::from_cell_size(stack.tiers()[0].floorplan(), Length::from_millimeters(1.0));
+        let mut cfg = ThermalConfig::default();
+        cfg.solver.preconditioner = kind;
+        cfg.solver.max_iterations = cap;
+        StackThermalBuilder::new(&stack, grid, cfg)
+            .build(Some(VolumetricFlow::from_ml_per_minute(400.0)))
+            .unwrap()
+    }
+
+    fn hot_power(model: &ThermalModel, watts: f64) -> Vec<f64> {
+        let stack = ultrasparc::two_layer_liquid();
+        model.uniform_block_power(&stack, |b| {
+            if b.is_core() {
+                Watts::new(watts)
+            } else {
+                Watts::new(0.4)
+            }
+        })
+    }
+
+    #[test]
+    fn steady_recovery_ladder_climbs_to_multigrid() {
+        // Jacobi needs ~30 iterations for this steady system; a cap of 5
+        // also defeats ILU(0), so the ladder must climb both rungs:
+        // Jacobi fails -> ILU(0) fails -> Multigrid converges.
+        if !vfc_obs::counters_enabled() {
+            vfc_obs::set_level(vfc_obs::TelemetryLevel::Counters);
+        }
+        let before = vfc_obs::snapshot();
+        let mut model = crippled_model(PreconditionerKind::Jacobi, 5);
+        let p = hot_power(&model, 3.0);
+        let steady = model
+            .steady_state(&p, None)
+            .expect("ladder must rescue the crippled config");
+        assert_eq!(model.last_recovery_retries(), 2, "two rungs climbed");
+        assert_eq!(model.last_recovery_escalations(), 2);
+        assert_eq!(
+            model.effective_preconditioner(),
+            PreconditionerKind::Multigrid
+        );
+        let after = vfc_obs::snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("solver.retries") >= 2, "retries counted");
+        assert!(delta("solver.escalations") >= 2, "escalations counted");
+
+        // The rescued answer is the same steady state a healthy config
+        // converges to (both meet the same residual tolerance).
+        let mut healthy = crippled_model(PreconditionerKind::Ilu0, 400);
+        let reference = healthy.steady_state(&p, None).unwrap();
+        assert_eq!(healthy.last_recovery_retries(), 0);
+        for (a, b) in steady.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+
+        // Escalation is sticky: the next solve runs clean under the
+        // escalated kind instead of re-failing through the ladder.
+        let again = model.steady_state(&p, Some(&steady)).unwrap();
+        assert_eq!(model.last_recovery_retries(), 0, "no re-climb");
+        for (a, b) in again.iter().zip(&steady) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transient_recovery_escalates_and_rolls_back_cleanly() {
+        // A cap of 8 starves Jacobi's ~16-iteration sub-step solves but
+        // leaves ILU(0) (~4 per sub-step) comfortable: one rung rescues
+        // the step. The retry re-runs the full interval from the
+        // snapshot, so the result must match a healthy model's step to
+        // solver tolerance.
+        if !vfc_obs::counters_enabled() {
+            vfc_obs::set_level(vfc_obs::TelemetryLevel::Counters);
+        }
+        let mut model = crippled_model(PreconditionerKind::Jacobi, 8);
+        let p_cold = hot_power(&model, 3.0);
+        let steady = model.steady_state(&p_cold, None).unwrap();
+        let ladder_used = model.last_recovery_retries();
+
+        let mut healthy = crippled_model(PreconditionerKind::Ilu0, 400);
+        let reference = healthy.steady_state(&p_cold, None).unwrap();
+
+        // Fresh crippled model so the steady escalation (if any) does
+        // not pre-arm the transient path we want to exercise.
+        let mut model = crippled_model(PreconditionerKind::Jacobi, 8);
+        let p_hot = hot_power(&model, 6.0);
+        let mut temps = steady.clone();
+        model
+            .step(&mut temps, &p_hot, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        assert!(model.last_recovery_retries() >= 1, "step had to retry");
+        assert!(model.last_recovery_escalations() >= 1);
+        assert!(model.last_step_iterations() > 0);
+        assert_ne!(
+            model.effective_preconditioner(),
+            PreconditionerKind::Jacobi,
+            "ladder moved off the failing kind"
+        );
+
+        let mut t_ref = reference.clone();
+        healthy
+            .step(&mut t_ref, &p_hot, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        assert_eq!(healthy.last_recovery_retries(), 0);
+        for (a, b) in temps.iter().zip(&t_ref) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+
+        // A later step on the escalated model runs clean.
+        model
+            .step(&mut temps, &p_hot, Seconds::from_millis(100.0), 5)
+            .unwrap();
+        assert_eq!(model.last_recovery_retries(), 0);
+        let _ = ladder_used;
+    }
+
+    #[test]
+    fn healthy_models_never_touch_the_ladder() {
+        let mut model = crippled_model(PreconditionerKind::Ilu0, 400);
+        let p = hot_power(&model, 3.0);
+        let steady = model.steady_state(&p, None).unwrap();
+        assert_eq!(model.last_recovery_retries(), 0);
+        assert_eq!(model.last_recovery_escalations(), 0);
+        assert_eq!(model.effective_preconditioner(), PreconditionerKind::Ilu0);
+        let mut temps = steady;
+        model
+            .step(
+                &mut temps,
+                &hot_power(&model, 6.0),
+                Seconds::from_millis(100.0),
+                5,
+            )
+            .unwrap();
+        assert_eq!(model.last_recovery_retries(), 0);
+        assert_eq!(model.effective_preconditioner(), PreconditionerKind::Ilu0);
     }
 }

@@ -1,0 +1,79 @@
+//! Fault injection: replay a seeded pump-degradation trace against the
+//! paper's TALB + variable-flow policy and compare it with the healthy
+//! plant.
+//!
+//! The timeline is plain configuration — it enters the cache key and
+//! replays deterministically, so a faulted run is exactly as
+//! reproducible as a healthy one.
+//!
+//! ```sh
+//! cargo run --release --example faulted_flow
+//! ```
+
+use vfc::prelude::*;
+use vfc::sim::{ChannelClog, FaultTimeline, PumpFault, SensorFault};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = SimConfig::new(
+        SystemKind::TwoLayer,
+        CoolingKind::LiquidVariable,
+        PolicyKind::Talb,
+        Benchmark::by_name("Web-med").expect("Table II workload"),
+    )
+    .with_duration(Seconds::new(30.0))
+    .with_series(true);
+
+    // The fault trace: the pump sags to 40% of commanded flow between
+    // 8 s and 20 s, cavity 0 clogs to half conductance from 15 s, and
+    // the temperature sensors the controller reads carry 0.3 °C of
+    // seeded Gaussian noise (the plant itself keeps true state).
+    let timeline = FaultTimeline::new(7)
+        .with_pump(PumpFault::Degradation {
+            start_s: 8.0,
+            end_s: 20.0,
+            level: 0.4,
+        })
+        .with_clog(ChannelClog {
+            cavity: 0,
+            start_s: 15.0,
+            ramp_s: 2.0,
+            derate: 0.5,
+        })
+        .with_sensor(SensorFault::Noise { sigma: 0.3 });
+    let faulted_cfg = base.clone().with_faults(timeline);
+
+    let healthy = Simulation::new(base)?.run()?;
+    let faulted = Simulation::new(faulted_cfg.clone())?.run()?;
+
+    println!("healthy plant:\n{healthy}\n");
+    println!("degraded plant (pump sag + clog + noisy sensors):\n{faulted}\n");
+    println!(
+        "peak temperature: {:.2} C healthy vs {:.2} C degraded",
+        healthy.max_temperature.value(),
+        faulted.max_temperature.value()
+    );
+    println!(
+        "controller switches: {} healthy vs {} degraded (the variable-flow \
+         controller works harder to chase the lost cooling)",
+        healthy.controller_switches, faulted.controller_switches
+    );
+
+    // The per-sample Tmax series shows where the fault window bites.
+    if let (Some(h), Some(f)) = (&healthy.tmax_series, &faulted.tmax_series) {
+        let window = |series: &[f64], from: usize, to: usize| {
+            series[from..to].iter().cloned().fold(f64::MIN, f64::max)
+        };
+        // 100 ms samples: the 8–20 s fault window is samples 80..200.
+        println!(
+            "Tmax inside the 8-20 s fault window: {:.2} C healthy vs {:.2} C degraded",
+            window(h, 80, 200.min(h.len())),
+            window(f, 80, 200.min(f.len()))
+        );
+    }
+
+    // Determinism: the seeded timeline replays bit-for-bit.
+    let again = Simulation::new(faulted_cfg)?.run()?;
+    assert_eq!(faulted, again, "a seeded fault trace replays identically");
+    println!("replayed the same timeline: reports identical");
+    Ok(())
+}

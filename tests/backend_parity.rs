@@ -96,6 +96,80 @@ fn multigrid_reports_match_across_backends_and_thread_counts() {
     }
 }
 
+/// The fault-replay trace every determinism cell replays: a pump sag,
+/// a clogging cavity and noisy sensors, all seeded.
+fn fault_timeline() -> vfc::sim::FaultTimeline {
+    use vfc::sim::{ChannelClog, FaultTimeline, PumpFault, SensorFault};
+    FaultTimeline::new(9)
+        .with_pump(PumpFault::Degradation {
+            start_s: 0.5,
+            end_s: 1.5,
+            level: 0.4,
+        })
+        .with_clog(ChannelClog {
+            cavity: 0,
+            start_s: 1.0,
+            ramp_s: 0.25,
+            derate: 0.5,
+        })
+        .with_sensor(SensorFault::Noise { sigma: 0.3 })
+}
+
+#[test]
+fn faulted_reports_match_across_backends_and_thread_counts() {
+    // Injected faults join the determinism contract: the seeded
+    // timeline is configuration, so every (backend, threads) cell of
+    // the matrix replays the identical degraded run bit for bit.
+    assert!(OperatorBackend::env_override().is_none());
+    let cooling = CoolingKind::LiquidVariable;
+    let cell = |backend, threads, faulted: bool| {
+        let mut cfg = config(backend, PolicyKind::Talb, cooling);
+        cfg.duration = Seconds::new(2.0);
+        cfg.grid_cell = Length::from_millimeters(2.0);
+        if faulted {
+            cfg.faults = fault_timeline();
+        }
+        let mut sim = Simulation::new(cfg).expect("build");
+        sim.set_kernel_pool(&KernelPool::new(threads));
+        sim.run().expect("run")
+    };
+    let reference = cell(OperatorBackend::Stencil, 1, true);
+    let healthy = cell(OperatorBackend::Stencil, 1, false);
+    assert_ne!(reference, healthy, "the fault trace must perturb the run");
+    for backend in [OperatorBackend::Stencil, OperatorBackend::Csr] {
+        for threads in [1usize, 2, 4] {
+            let got = cell(backend, threads, true);
+            assert_eq!(
+                got, reference,
+                "faulted {backend:?}/{threads} threads diverged from stencil/1"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_timelines_enter_cache_keys_but_empty_ones_are_free() {
+    let healthy = config(
+        OperatorBackend::Stencil,
+        PolicyKind::Talb,
+        CoolingKind::LiquidVariable,
+    );
+    let mut faulted = healthy.clone();
+    faulted.faults = fault_timeline();
+    let mut empty = healthy.clone();
+    empty.faults = vfc::sim::FaultTimeline::new(7);
+    assert_ne!(
+        healthy.cache_key(),
+        faulted.cache_key(),
+        "a fault timeline changes the physics and must invalidate cached results"
+    );
+    assert_eq!(
+        healthy.cache_key(),
+        empty.cache_key(),
+        "an empty timeline (any seed) must leave healthy cache keys untouched"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 4,

@@ -1,0 +1,78 @@
+//! The sweep server binary: a long-lived `vfc_serve` process.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--cache-dir DIR] [--telemetry PATH]
+//! ```
+//!
+//! Binds, prints `vfc_serve listening on <addr>` (the line scripts and
+//! the service smoke parse to learn an ephemeral port), then serves
+//! until a client sends `Shutdown` — at which point it drains accepted
+//! sweeps, flushes the journal and exits.
+//!
+//! Bounds, deadlines and queue depths come from the `VFC_SERVE_*`
+//! environment knobs (see the README's knob table); all of them are
+//! execution knobs — they never enter result cache keys. The cache
+//! directory defaults to the runner's (`target/vfc-cache/`, or
+//! `VFC_CACHE_DIR`), so a server shares warm results with local sweep
+//! runs against the same directory.
+
+use std::io::Write as _;
+
+use vfc::serve::{ServeConfig, Server};
+use vfc_bench::telemetry;
+
+fn main() {
+    let telemetry_path = telemetry::parse_telemetry_flag();
+    if telemetry_path.is_some() {
+        telemetry::enable_for_export();
+    } else {
+        vfc::obs::declare_counters(telemetry::STANDARD_COUNTERS);
+    }
+
+    let mut cfg = ServeConfig::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                cfg.addr = args.get(i + 1).cloned().unwrap_or_else(|| usage("--addr"));
+                i += 2;
+            }
+            "--cache-dir" => {
+                let dir = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--cache-dir"));
+                cfg.cache_dir = Some(dir.into());
+                i += 2;
+            }
+            "--telemetry" => i += 2, // parsed above
+            other => usage(other),
+        }
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("vfc_serve failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Flushed eagerly: callers block on this line to learn the port.
+    println!("vfc_serve listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    server.join();
+    println!("vfc_serve drained and stopped");
+    if let Some(path) = telemetry_path {
+        telemetry::export_snapshot(&path);
+    }
+}
+
+fn usage(offender: &str) -> ! {
+    eprintln!(
+        "unknown or incomplete argument `{offender}`\n\
+         usage: serve [--addr HOST:PORT] [--cache-dir DIR] [--telemetry PATH]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,159 @@
+//! The sweep-service client binary.
+//!
+//! ```text
+//! serve_client <addr> ping
+//! serve_client <addr> stats
+//! serve_client <addr> shutdown
+//! serve_client <addr> sweep [--systems 2,4] [--cooling air,max,var]
+//!                           [--policies lb,mig,talb] [--workloads a,b]
+//!                           [--seeds 42,43] [--grid-mm 1.0]
+//!                           [--duration 60] [--dpm]
+//! ```
+//!
+//! `sweep` submits the spec (the same axis tokens the local `sweep`
+//! binary takes), streams per-cell results as they land, and survives
+//! connection drops and server restarts by resubmitting: cells are
+//! keyed by config hashes, so a resumed pass pays only for cells that
+//! never finished.
+
+use vfc::serve::{CellOutcome, ServeClient, WireSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (addr, command) = match (args.get(1), args.get(2)) {
+        (Some(addr), Some(command)) => (addr.clone(), command.clone()),
+        _ => usage("missing <addr> and command"),
+    };
+    let client = ServeClient::new(addr);
+
+    match command.as_str() {
+        "ping" => match client.ping() {
+            Ok(rtt) => println!("pong in {rtt:?}"),
+            Err(e) => fail(&format!("ping: {e}")),
+        },
+        "stats" => match client.stats() {
+            Ok(s) => {
+                println!(
+                    "connections {} | sheds {} | deadline aborts {} | journal replays {}",
+                    s.connections, s.sheds, s.deadline_aborts, s.journal_replays
+                );
+                println!(
+                    "jobs {} | executed {} | cache hits {} | dedup joins {}",
+                    s.jobs, s.executed, s.cache_hits, s.dedup_joins
+                );
+            }
+            Err(e) => fail(&format!("stats: {e}")),
+        },
+        "shutdown" => match client.shutdown_server() {
+            Ok(()) => println!("server is draining"),
+            Err(e) => fail(&format!("shutdown: {e}")),
+        },
+        "sweep" => run_sweep(&client, parse_spec(&args[3..])),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn run_sweep(client: &ServeClient, spec: WireSpec) {
+    println!("submitting {} cells", spec.cell_count());
+    let on_cell = |cell: &CellOutcome| match &cell.result {
+        Ok(report) => println!(
+            "cell {:>3} [{:016x}]{} Tmax {:.2} C, {:.2} threads/s",
+            cell.index,
+            cell.key,
+            if cell.cached { " (cached)" } else { "" },
+            report.max_temperature.value(),
+            report.throughput,
+        ),
+        Err(message) => println!(
+            "cell {:>3} [{:016x}] FAILED: {message}",
+            cell.index, cell.key
+        ),
+    };
+    match client.run_sweep_with(&spec, on_cell) {
+        Ok(outcome) => {
+            let failed = outcome.cells.iter().filter(|c| c.result.is_err()).count();
+            let cached = outcome.cells.iter().filter(|c| c.cached).count();
+            println!(
+                "done: {} cells ({} cached, {} failed, {} reconnects)",
+                outcome.cells.len(),
+                cached,
+                failed,
+                outcome.reconnects
+            );
+            if failed > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => fail(&format!("sweep: {e}")),
+    }
+}
+
+fn parse_spec(args: &[String]) -> WireSpec {
+    let mut spec = WireSpec::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| usage(&format!("`{flag}` expects a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--systems" => spec.systems = split(&value(&mut i, "--systems")),
+            "--cooling" => spec.coolings = split(&value(&mut i, "--cooling")),
+            "--policies" => spec.policies = split(&value(&mut i, "--policies")),
+            "--workloads" => spec.workloads = split(&value(&mut i, "--workloads")),
+            "--seeds" => {
+                spec.seeds = split(&value(&mut i, "--seeds"))
+                    .iter()
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| usage(&format!("bad seed `{s}`")))
+                    })
+                    .collect();
+            }
+            "--grid-mm" => {
+                spec.grid_mm = split(&value(&mut i, "--grid-mm"))
+                    .iter()
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| usage(&format!("bad grid `{s}`")))
+                    })
+                    .collect();
+            }
+            "--duration" => {
+                let s = value(&mut i, "--duration");
+                spec.duration_s = s
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad duration `{s}`")));
+            }
+            "--dpm" => spec.dpm = true,
+            other => usage(&format!("unknown sweep flag `{other}`")),
+        }
+        i += 1;
+    }
+    spec
+}
+
+fn split(csv: &str) -> Vec<String> {
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(1);
+}
+
+fn usage(offender: &str) -> ! {
+    eprintln!(
+        "{offender}\n\
+         usage: serve_client <addr> <ping|stats|shutdown|sweep [spec flags]>\n\
+         sweep flags: --systems 2,4 --cooling air,max,var,fixed:<n> --policies lb,mig,talb\n\
+         \x20            --workloads <names> --seeds 42,43 --grid-mm 1.0 --duration 60 --dpm"
+    );
+    std::process::exit(2);
+}

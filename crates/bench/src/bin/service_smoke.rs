@@ -1,0 +1,318 @@
+//! Sweep-service regression smoke for CI: gates `vfc_serve`'s
+//! crash-safety and backpressure story end to end, against real child
+//! processes and a real `SIGKILL`.
+//!
+//! * **cold → warm** — a sweep simulates every cell once; resubmitting
+//!   it is answered entirely from the durable cache with zero
+//!   re-execution, and the served reports are **byte-identical** to a
+//!   local `SweepRunner` run of the same spec (shared expansion path,
+//!   shared cache encoding);
+//! * **kill mid-sweep → journal replay** — the server is killed with
+//!   `SIGKILL` after at least two cells streamed; a restart on the same
+//!   cache directory replays the journaled sweep and re-runs **only**
+//!   the cells that never completed — completed cells are never
+//!   simulated again;
+//! * **backpressure** — under `VFC_SERVE_QUEUE=1` a four-cell sweep is
+//!   shed with a typed `Busy(queue)` and nothing is enqueued, while a
+//!   one-cell sweep still goes through;
+//! * **graceful shutdown** — a client `shutdown` request drains the
+//!   server, which exits 0.
+//!
+//! CI runs this binary twice — plain and under `VFC_TELEMETRY=spans` —
+//! so the same gates also prove telemetry does not perturb the service
+//! (children inherit the environment).
+//!
+//! The binary re-execs itself with `--serve-child` as the server
+//! process, so no sibling-binary paths are involved.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use vfc::serve::{BusyReason, ClientError, ServeClient, ServeConfig, Server, WireSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serve-child") {
+        serve_child(&args);
+    }
+    println!(
+        "service smoke: crash-safe sweep service (telemetry {:?})",
+        vfc::obs::level()
+    );
+    gate_cold_warm_and_byte_identity();
+    gate_kill_mid_sweep_then_journal_replay();
+    gate_queue_shedding();
+    println!("service smoke: all gates passed");
+}
+
+// --- child mode -----------------------------------------------------
+
+fn serve_child(args: &[String]) -> ! {
+    let dir = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|i| args.get(i + 1))
+        .expect("--serve-child requires --cache-dir");
+    let mut cfg = ServeConfig::from_env();
+    cfg.addr = "127.0.0.1:0".into();
+    cfg.cache_dir = Some(dir.into());
+    let server = Server::start(cfg).expect("child server start");
+    println!("vfc_serve listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    server.join();
+    std::process::exit(0);
+}
+
+// --- harness --------------------------------------------------------
+
+struct ServerProc {
+    proc: std::process::Child,
+    addr: String,
+}
+
+/// Re-execs this binary as a server child on `dir`, waits for its
+/// listening line and keeps draining its stdout in the background.
+fn spawn_server(dir: &Path, envs: &[(&str, &str)]) -> ServerProc {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--serve-child")
+        .arg("--cache-dir")
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut proc = cmd.spawn().expect("spawn server child");
+    let stdout = proc.stdout.take().expect("child stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("child listening line");
+    let addr = line
+        .trim()
+        .rsplit_once("listening on ")
+        .map(|(_, addr)| addr.to_string())
+        .unwrap_or_else(|| panic!("unexpected child banner: {line:?}"));
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while let Ok(n) = reader.read_line(&mut sink) {
+            if n == 0 {
+                break;
+            }
+            sink.clear();
+        }
+    });
+    ServerProc { proc, addr }
+}
+
+fn client(addr: &str) -> ServeClient {
+    ServeClient::new(addr.to_string())
+        .with_timeouts(
+            Duration::from_millis(300_000),
+            Duration::from_millis(10_000),
+        )
+        .with_reconnects(0, Duration::from_millis(50))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vfc-service-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fast air-cooled spec: one cell per seed, no pump-controller work.
+fn spec(seeds: &[u64], duration_s: f64) -> WireSpec {
+    WireSpec {
+        systems: vec!["2".into()],
+        coolings: vec!["air".into()],
+        policies: vec!["lb".into()],
+        workloads: vec!["gzip".into()],
+        seeds: seeds.to_vec(),
+        grid_mm: vec![2.0],
+        duration_s,
+        dpm: false,
+    }
+}
+
+/// Completed-cell entries on disk: `<key:016x>.json` files (the index
+/// and journal are `.jsonl`, temp files carry other suffixes).
+fn completed_entries(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.len() == 16 + 5
+                && name.ends_with(".json")
+                && name.as_bytes()[..16].iter().all(u8::is_ascii_hexdigit)
+        })
+        .count()
+}
+
+// --- gates ----------------------------------------------------------
+
+fn gate_cold_warm_and_byte_identity() {
+    let dir = temp_dir("warm");
+    let mut server = spawn_server(&dir, &[]);
+    let client = client(&server.addr);
+    let spec = spec(&[1, 2], 0.5);
+
+    let cold = client.run_sweep(&spec).expect("cold sweep");
+    assert_eq!(cold.cells.len(), 2);
+    let executed = client.stats().expect("stats").executed;
+    assert_eq!(executed, 2, "both cold cells must simulate");
+
+    let warm = client.run_sweep(&spec).expect("warm sweep");
+    assert!(warm.cells.iter().all(|c| c.cached), "resubmit is all-warm");
+    assert_eq!(
+        client.stats().expect("stats").executed,
+        executed,
+        "warm hits must not re-execute"
+    );
+
+    let local = vfc::runner::SweepRunner::new()
+        .run_spec(&spec.to_sweep_spec().expect("valid spec"))
+        .expect("local run");
+    let served = warm.reports().expect("no failed cells");
+    assert_eq!(served.len(), local.len());
+    for (ours, theirs) in served.iter().zip(local.iter()) {
+        assert_eq!(
+            vfc::runner::json::JsonCodec::to_json(ours).encode(),
+            vfc::runner::json::JsonCodec::to_json(theirs).encode(),
+            "served results must be byte-identical to the local run"
+        );
+    }
+    println!("cold/warm: 2 executed, resubmit all-warm, byte-identical to local run");
+
+    client.shutdown_server().expect("polite shutdown");
+    let status = server.proc.wait().expect("child exit");
+    assert!(status.success(), "drained server must exit 0: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn gate_kill_mid_sweep_then_journal_replay() {
+    let dir = temp_dir("crash");
+    // One worker thread serialises the cells, so a kill lands mid-sweep.
+    let mut server = spawn_server(&dir, &[("VFC_RUNNER_THREADS", "1")]);
+    let addr = server.addr.clone();
+    let total = 4u64;
+    // Long-duration cells stretch the kill window.
+    let crash_spec = spec(&[11, 12, 13, 14], 120.0);
+
+    let streamed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let sweep_client = client(&addr);
+        let spec_ref = &crash_spec;
+        let streamed_ref = &streamed;
+        let sweeper = scope.spawn(move || {
+            // The kill must surface as a transport error, not a panic.
+            sweep_client
+                .run_sweep_with(spec_ref, |_| {
+                    streamed_ref.fetch_add(1, Ordering::SeqCst);
+                })
+                .err()
+                .expect("the killed server cannot complete the sweep")
+        });
+        let deadline = Instant::now() + Duration::from_secs(300);
+        while streamed.load(Ordering::SeqCst) < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "no two cells streamed before the kill deadline"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.proc.kill().expect("SIGKILL the server");
+        server.proc.wait().expect("reap the killed server");
+        let error = sweeper.join().expect("sweeper thread");
+        println!(
+            "killed mid-sweep after {} cells ({error})",
+            streamed.load(Ordering::SeqCst)
+        );
+    });
+
+    let completed_before = completed_entries(&dir) as u64;
+    assert!(
+        completed_before >= 2,
+        "streamed cells must already be durable on disk"
+    );
+    assert!(
+        completed_before < total,
+        "the kill must land mid-sweep (got {completed_before}/{total} complete; \
+         a slower machine or shorter cells would be needed)"
+    );
+
+    // Restart on the same directory: the journal replays the pending
+    // sweep and re-runs only the never-completed cells.
+    let mut server = spawn_server(&dir, &[("VFC_RUNNER_THREADS", "1")]);
+    let stats_client = client(&server.addr);
+    let expected_cold = total - completed_before;
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let stats = stats_client.stats().expect("stats during replay");
+        assert_eq!(stats.journal_replays, 1, "exactly one sweep replays");
+        assert!(
+            stats.executed <= expected_cold,
+            "replay re-ran a completed cell: executed {} > {} cold",
+            stats.executed,
+            expected_cold
+        );
+        if stats.executed == expected_cold {
+            break;
+        }
+        assert!(Instant::now() < deadline, "journal replay never finished");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The resubmitted sweep is now answered fully from cache — the
+    // crash cost zero recompute of completed cells.
+    let resumed = client(&server.addr)
+        .run_sweep(&crash_spec)
+        .expect("resumed sweep");
+    assert!(
+        resumed.cells.iter().all(|c| c.cached),
+        "every cell must be warm after the replay"
+    );
+    let stats = stats_client.stats().expect("final stats");
+    assert_eq!(
+        stats.executed, expected_cold,
+        "the resubmit must not execute anything"
+    );
+    println!(
+        "journal replay: {completed_before}/{total} cells survived the kill, \
+         replay re-ran {expected_cold}, resubmit all-warm"
+    );
+
+    client(&server.addr).shutdown_server().expect("shutdown");
+    let status = server.proc.wait().expect("child exit");
+    assert!(status.success(), "drained server must exit 0: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn gate_queue_shedding() {
+    let dir = temp_dir("shed");
+    let mut server = spawn_server(&dir, &[("VFC_SERVE_QUEUE", "1")]);
+    let client = client(&server.addr);
+
+    match client.run_sweep(&spec(&[21, 22, 23, 24], 0.5)) {
+        Err(ClientError::Busy { reason, .. }) => assert_eq!(reason, BusyReason::Queue),
+        other => panic!("expected Busy(Queue), got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert!(stats.sheds >= 1, "the shed is counted");
+    assert_eq!(stats.executed, 0, "a shed sweep must enqueue nothing");
+
+    let ok = client.run_sweep(&spec(&[21], 0.5)).expect("fitting sweep");
+    assert_eq!(ok.cells.len(), 1);
+    println!("backpressure: 4-cell sweep shed with Busy(queue), 1-cell sweep accepted");
+
+    client.shutdown_server().expect("shutdown");
+    let status = server.proc.wait().expect("child exit");
+    assert!(status.success(), "drained server must exit 0: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,7 +11,8 @@ use std::path::{Path, PathBuf};
 
 /// Counter families every exported snapshot carries, even at zero.
 /// One name per instrumented subsystem — solver, preconditioner,
-/// kernel pool, thermal model, engine, sweep runner and result cache.
+/// kernel pool, thermal model, engine, sweep runner, result cache and
+/// the sweep service.
 pub const STANDARD_COUNTERS: &[&str] = &[
     "engine.fault_events",
     "engine.samples",
@@ -25,8 +26,13 @@ pub const STANDARD_COUNTERS: &[&str] = &[
     "runner.cache.hits",
     "runner.cache.misses",
     "runner.cache.stores",
+    "runner.dedup_joins",
     "runner.job_retries",
     "runner.jobs",
+    "serve.connections",
+    "serve.deadline_aborts",
+    "serve.journal_replays",
+    "serve.sheds",
     "solver.escalations",
     "solver.iterations",
     "solver.retries",

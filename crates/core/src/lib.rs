@@ -63,6 +63,7 @@
 //! | [`faults`] | seeded pump/clog/sensor fault timelines |
 //! | [`sim`] | the co-simulation engine |
 //! | [`runner`] | sweep specs, work-stealing executor, result cache |
+//! | [`serve`] | crash-safe sweep service: framed TCP protocol, store journal |
 //! | [`obs`] | counters, gauges, span timers (`VFC_TELEMETRY`) |
 
 #![warn(missing_docs)]
@@ -82,6 +83,7 @@ pub use vfc_obs as obs;
 pub use vfc_power as power;
 pub use vfc_runner as runner;
 pub use vfc_sched as sched;
+pub use vfc_serve as serve;
 pub use vfc_sim as sim;
 pub use vfc_thermal as thermal;
 pub use vfc_units as units;

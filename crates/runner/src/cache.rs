@@ -10,13 +10,17 @@
 //!   `index.jsonl`, so separate processes — e.g. consecutive
 //!   `all_figures` runs — skip already-simulated cells.
 //!
-//! Disk entries are versioned ([`DISK_FORMAT_VERSION`]); an entry with
-//! an unknown version or a parse failure is treated as a miss, **evicted
-//! from disk** (so the next store rewrites it cleanly) and counted
+//! Disk entries are versioned ([`DISK_FORMAT_VERSION`]) and written via
+//! temp-file + atomic rename, with an FNV-1a checksum over the encoded
+//! report so a torn write that still parses as JSON is detected rather
+//! than served as garbage. An entry with an unknown version, a parse
+//! failure or a checksum mismatch is treated as a miss, **evicted from
+//! disk** (so the next store rewrites it cleanly) and counted
 //! ([`ResultCache::corrupt_evictions`], `runner.cache.corrupt_evictions`)
-//! — never trusted, never surfaced as an error. The config hash itself
-//! is versioned on the `vfc_sim` side, so engine changes invalidate old
-//! keys outright.
+//! — never trusted, never surfaced as an error. Entries written before
+//! the checksum existed carry no `checksum` member and are accepted
+//! as-is. The config hash itself is versioned on the `vfc_sim` side, so
+//! engine changes invalidate old keys outright.
 //!
 //! [`SimConfig::cache_key`]: vfc_sim::SimConfig::cache_key
 
@@ -32,6 +36,17 @@ use crate::RunnerError;
 
 /// Version stamp written into every on-disk entry and the index.
 pub const DISK_FORMAT_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit over raw bytes — the entry checksum. Matches the cache
+/// key's hash family (stable across processes and machines, no seeding).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Environment variable bounding the on-disk cache size, in megabytes.
 /// Unset (the default) means unbounded; see
@@ -304,7 +319,19 @@ impl DiskStore {
             {
                 return None;
             }
-            SimReport::from_json(doc.get("report")?).ok()
+            let report_json = doc.get("report")?;
+            // Checksum, when present, must match the re-encoded report
+            // member: a torn or bit-flipped write that still parses as
+            // JSON is caught here instead of surfacing as garbage
+            // physics. Entries written before the checksum existed have
+            // no member and are accepted as-is (legacy tolerance).
+            if let Ok(stored) = string_member(&doc, "cache entry", "checksum") {
+                let stored = u64::from_str_radix(&stored, 16).ok()?;
+                if fnv1a(report_json.encode().as_bytes()) != stored {
+                    return None;
+                }
+            }
+            SimReport::from_json(report_json).ok()
         };
         match decode() {
             Some(report) => Some(report),
@@ -330,13 +357,23 @@ impl DiskStore {
             context: format!("creating cache dir {}", self.dir.display()),
             source,
         })?;
+        // The checksum covers the encoded `report` member. The codec is
+        // round-trip exact (parse∘encode is identity on encoder output),
+        // so the read path can re-derive the same bytes from the parsed
+        // document and compare — no second copy of the payload on disk.
+        let report_json = report.to_json();
+        let checksum = fnv1a(report_json.encode().as_bytes());
         let doc = JsonValue::Object(vec![
             (
                 "version".into(),
                 JsonValue::Number(DISK_FORMAT_VERSION as f64),
             ),
             ("key".into(), JsonValue::String(format!("{key:016x}"))),
-            ("report".into(), report.to_json()),
+            (
+                "checksum".into(),
+                JsonValue::String(format!("{checksum:016x}")),
+            ),
+            ("report".into(), report_json),
         ]);
         let encoded = doc.encode();
         write_atomically(&self.entry_path(key), &encoded)?;
@@ -575,6 +612,53 @@ mod tests {
             ResultCache::on_disk(&dir).get(7).unwrap().label,
             "rewritten"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_catches_parseable_corruption() {
+        let dir = temp_dir("checksum");
+        let cache = ResultCache::on_disk(&dir);
+        cache.insert(9, &report("honest")).unwrap();
+        let entry = dir.join(format!("{:016x}.json", 9));
+        // Flip one digit inside the report payload: the file still
+        // parses as valid JSON with the right version and key, so only
+        // the checksum can tell it was torn.
+        let text = std::fs::read_to_string(&entry).unwrap();
+        let tampered = text.replace("\"throughput\":1.25", "\"throughput\":9.25");
+        assert_ne!(text, tampered, "tamper target must exist in the entry");
+        std::fs::write(&entry, tampered).unwrap();
+        let fresh = ResultCache::on_disk(&dir);
+        assert!(fresh.get(9).is_none(), "tampered entry must be a miss");
+        assert_eq!(fresh.corrupt_evictions(), 1, "and a counted eviction");
+        assert!(!entry.exists(), "the torn file is gone");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_entries_without_checksum_still_read() {
+        let dir = temp_dir("legacy");
+        let cache = ResultCache::on_disk(&dir);
+        cache.insert(11, &report("legacy")).unwrap();
+        let entry = dir.join(format!("{:016x}.json", 11));
+        // Rewrite the entry as a pre-checksum process would have: same
+        // document, checksum member stripped.
+        let doc = JsonValue::parse(&std::fs::read_to_string(&entry).unwrap()).unwrap();
+        let JsonValue::Object(members) = doc else {
+            panic!("entry must be an object");
+        };
+        let stripped: Vec<_> = members
+            .into_iter()
+            .filter(|(name, _)| name != "checksum")
+            .collect();
+        std::fs::write(&entry, JsonValue::Object(stripped).encode()).unwrap();
+        let fresh = ResultCache::on_disk(&dir);
+        assert_eq!(
+            fresh.get(11).unwrap().label,
+            "legacy",
+            "missing checksum = legacy entry, accepted"
+        );
+        assert_eq!(fresh.corrupt_evictions(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

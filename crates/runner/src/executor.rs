@@ -161,6 +161,260 @@ impl Executor {
     }
 }
 
+/// A queued unit of work for the [`SubmitExecutor`].
+pub type BoxJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was refused. Every refusal is typed and immediate —
+/// the persistent executor never blocks a submitter unless it
+/// explicitly asks ([`SubmitExecutor::submit_blocking`]).
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; shed load or retry later.
+    QueueFull {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The executor is draining for shutdown and refuses new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { capacity } => {
+                write!(f, "submit queue full (capacity {capacity})")
+            }
+            Self::ShuttingDown => write!(f, "executor is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A **persistent** bounded-queue thread pool, the long-lived
+/// counterpart of the scoped batch [`Executor`]: workers outlive any
+/// one submission, jobs arrive one at a time (or in all-or-nothing
+/// batches), and the queue bound is a hard backpressure edge — a full
+/// queue refuses with [`SubmitError::QueueFull`] instead of growing.
+///
+/// The sweep service's executor: connection handlers submit cold cells,
+/// get an immediate accept/refuse verdict, and stream results from the
+/// jobs' own completion callbacks. [`shutdown`](Self::shutdown) drains
+/// — already-accepted jobs finish, new submissions are refused — so a
+/// graceful server stop never abandons work it acknowledged.
+///
+/// Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot`
+/// has no condvar). Job panics are caught and swallowed: a panicking
+/// job must not take down a worker that other connections depend on —
+/// jobs that can fail meaningfully report through their own channel.
+#[derive(Debug)]
+pub struct SubmitExecutor {
+    shared: std::sync::Arc<SubmitShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct SubmitShared {
+    state: std::sync::Mutex<SubmitState>,
+    /// Signalled when work arrives or shutdown begins (workers wait).
+    work: std::sync::Condvar,
+    /// Signalled when a job is taken off the queue (blocking submitters
+    /// wait).
+    space: std::sync::Condvar,
+    capacity: usize,
+}
+
+struct SubmitState {
+    queue: VecDeque<BoxJob>,
+    draining: bool,
+    /// Jobs currently executing on a worker (not counted in `queue`).
+    active: usize,
+}
+
+impl std::fmt::Debug for SubmitState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitState")
+            .field("queued", &self.queue.len())
+            .field("draining", &self.draining)
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl SubmitExecutor {
+    /// Spawns `threads` persistent workers (≥ 1) behind a queue bounded
+    /// at `capacity` jobs (≥ 1).
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        let shared = std::sync::Arc::new(SubmitShared {
+            state: std::sync::Mutex::new(SubmitState {
+                queue: VecDeque::new(),
+                draining: false,
+                active: 0,
+            }),
+            work: std::sync::Condvar::new(),
+            space: std::sync::Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    fn worker(shared: &SubmitShared) {
+        loop {
+            let job = {
+                let mut state = shared.state.lock().expect("submit state poisoned");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        state.active += 1;
+                        shared.space.notify_all();
+                        break job;
+                    }
+                    // Draining + empty queue = retire. Queued jobs drain
+                    // first: the pop above wins while work remains.
+                    if state.draining {
+                        return;
+                    }
+                    state = shared.work.wait(state).expect("submit state poisoned");
+                }
+            };
+            // A panicking job is its own problem; the worker survives.
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+            let mut state = shared.state.lock().expect("submit state poisoned");
+            state.active -= 1;
+            shared.space.notify_all();
+        }
+    }
+
+    /// The queue bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("submit state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Submits one job, refusing immediately when the queue is full or
+    /// the executor is draining.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] or [`SubmitError::ShuttingDown`].
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        self.submit_batch(vec![Box::new(job)])
+    }
+
+    /// Submits a batch **all-or-nothing**: either every job is enqueued
+    /// (in order, atomically — no interleaving with other batches) or
+    /// none is. The atomicity is what makes `Busy` shedding honest: a
+    /// sweep is either fully accepted or fully refused, never half-run.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] if the whole batch does not fit in
+    /// the remaining queue space; [`SubmitError::ShuttingDown`] while
+    /// draining. An empty batch always succeeds.
+    pub fn submit_batch(&self, jobs: Vec<BoxJob>) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("submit state poisoned");
+        if state.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() + jobs.len() > self.shared.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.shared.capacity,
+            });
+        }
+        state.queue.extend(jobs);
+        drop(state);
+        self.shared.work.notify_all();
+        Ok(())
+    }
+
+    /// Submits one job, **waiting** for queue space instead of refusing
+    /// — the journal-replay path, where work must not be shed and the
+    /// submitter (server startup) has nothing better to do.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] if the executor drains while
+    /// waiting.
+    pub fn submit_blocking(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("submit state poisoned");
+        loop {
+            if state.draining {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(Box::new(job));
+                drop(state);
+                self.shared.work.notify_all();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .expect("submit state poisoned");
+        }
+    }
+
+    /// Blocks until the queue is empty and no job is executing. Pair
+    /// with the completion signals of the jobs themselves where exact
+    /// sequencing matters; this is the coarse "nothing in flight" gate.
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock().expect("submit state poisoned");
+        while !state.queue.is_empty() || state.active > 0 {
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .expect("submit state poisoned");
+        }
+    }
+
+    /// Graceful shutdown: refuses new submissions, **drains** the
+    /// already-accepted queue, then joins the workers. Idempotent by
+    /// construction — consumes the executor.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("submit state poisoned");
+            state.draining = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SubmitExecutor {
+    fn drop(&mut self) {
+        // A dropped (not shut down) executor still drains and joins —
+        // detached workers outliving the executor would race teardown.
+        {
+            let mut state = self.shared.state.lock().expect("submit state poisoned");
+            state.draining = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 fn default_threads() -> usize {
     if let Ok(v) = std::env::var(THREADS_ENV) {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -293,5 +547,172 @@ mod tests {
         let ex = Executor::new();
         let out: Vec<Result<(), _>> = ex.run(Vec::<u32>::new(), |_| Ok(()));
         assert!(out.is_empty());
+    }
+
+    mod submit {
+        use super::super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        #[test]
+        fn submitted_jobs_run_and_shutdown_drains() {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let ex = SubmitExecutor::new(2, 64);
+            for _ in 0..10 {
+                let ran = Arc::clone(&ran);
+                ex.submit(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+            ex.shutdown();
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                10,
+                "shutdown must drain accepted work, not abandon it"
+            );
+        }
+
+        #[test]
+        fn full_queue_refuses_with_typed_error() {
+            // One worker parked on a gate keeps the queue from draining.
+            let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+            let ex = SubmitExecutor::new(1, 2);
+            let parked = Arc::clone(&gate);
+            ex.submit(move || {
+                let (lock, cv) = &*parked;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+            // Wait until the worker holds the gate job (queue empty).
+            while ex.queued() > 0 {
+                std::thread::yield_now();
+            }
+            ex.submit(|| {}).unwrap();
+            ex.submit(|| {}).unwrap();
+            assert!(
+                matches!(
+                    ex.submit(|| {}),
+                    Err(SubmitError::QueueFull { capacity: 2 })
+                ),
+                "the bound must refuse, not grow"
+            );
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+            ex.shutdown();
+        }
+
+        #[test]
+        fn batches_are_all_or_nothing() {
+            let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+            let ran = Arc::new(AtomicUsize::new(0));
+            let ex = SubmitExecutor::new(1, 3);
+            let parked = Arc::clone(&gate);
+            ex.submit(move || {
+                let (lock, cv) = &*parked;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+            while ex.queued() > 0 {
+                std::thread::yield_now();
+            }
+            ex.submit(|| {}).unwrap(); // queue: 1 of 3
+            let batch: Vec<BoxJob> = (0..3)
+                .map(|_| {
+                    let ran = Arc::clone(&ran);
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }) as BoxJob
+                })
+                .collect();
+            assert!(
+                matches!(ex.submit_batch(batch), Err(SubmitError::QueueFull { .. })),
+                "a batch that does not fully fit must be fully refused"
+            );
+            assert_eq!(ex.queued(), 1, "no partial enqueue");
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+            ex.shutdown();
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "refused jobs never ran");
+        }
+
+        #[test]
+        fn draining_executor_refuses_new_work() {
+            let ex = SubmitExecutor::new(1, 4);
+            let shared = Arc::clone(&ex.shared);
+            ex.shutdown();
+            // Post-shutdown state is observable through the shared
+            // handle: draining, empty, idle.
+            let state = shared.state.lock().unwrap();
+            assert!(state.draining);
+            assert!(state.queue.is_empty());
+            assert_eq!(state.active, 0);
+        }
+
+        #[test]
+        fn panicking_jobs_do_not_kill_workers() {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let ex = SubmitExecutor::new(1, 8);
+            ex.submit(|| panic!("boom")).unwrap();
+            let after = Arc::clone(&ran);
+            ex.submit(move || {
+                after.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            ex.wait_idle();
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                1,
+                "the single worker must survive the panic and run on"
+            );
+            ex.shutdown();
+        }
+
+        #[test]
+        fn submit_blocking_waits_for_space() {
+            let ex = Arc::new(SubmitExecutor::new(1, 1));
+            let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+            let parked = Arc::clone(&gate);
+            ex.submit(move || {
+                let (lock, cv) = &*parked;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+            while ex.queued() > 0 {
+                std::thread::yield_now();
+            }
+            ex.submit(|| {}).unwrap(); // queue now full
+            let ran = Arc::new(AtomicUsize::new(0));
+            let blocker = {
+                let ex = Arc::clone(&ex);
+                let ran = Arc::clone(&ran);
+                std::thread::spawn(move || {
+                    ex.submit_blocking(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+            };
+            // The blocking submit cannot land until the gate opens.
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(ran.load(Ordering::Relaxed), 0);
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+            blocker.join().unwrap().unwrap();
+            ex.wait_idle();
+            assert_eq!(ran.load(Ordering::Relaxed), 1);
+        }
     }
 }

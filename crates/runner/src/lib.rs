@@ -45,6 +45,7 @@ mod cache;
 mod codec;
 mod error;
 mod executor;
+mod inflight;
 pub mod json;
 mod spec;
 pub mod telemetry;
@@ -58,8 +59,20 @@ pub use self::cache::{
     DISK_FORMAT_VERSION,
 };
 pub use self::error::RunnerError;
-pub use self::executor::{Executor, Progress, THREADS_ENV};
+pub use self::executor::{BoxJob, Executor, Progress, SubmitError, SubmitExecutor, THREADS_ENV};
 pub use self::spec::SweepSpec;
+
+/// How [`SweepRunner::run_shared`] obtained its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// Answered from the result cache without touching the executor.
+    CacheHit,
+    /// This caller led the execution: it simulated the cell itself.
+    Executed,
+    /// Another caller was already simulating the identical cell; this
+    /// one joined its in-flight run and shared the result.
+    Joined,
+}
 
 /// Counters accumulated across every sweep a [`SweepRunner`] executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +95,10 @@ pub struct SweepStats {
     /// Transient job failures that were retried (bounded per-job budget;
     /// see [`RunnerError::is_transient`]).
     pub job_retries: u64,
+    /// [`SweepRunner::run_shared`] calls that joined another caller's
+    /// in-flight execution of the identical cell instead of duplicating
+    /// it.
+    pub dedup_joins: u64,
 }
 
 impl SweepStats {
@@ -109,6 +126,8 @@ pub struct SweepRunner {
     executed: AtomicU64,
     failures: AtomicU64,
     job_retries: AtomicU64,
+    dedup_joins: AtomicU64,
+    inflight: inflight::InFlightTable,
     /// Test seam: queued errors served (front first) in place of the
     /// next simulation attempts, exercising the retry path without a
     /// fault-prone filesystem.
@@ -144,6 +163,8 @@ impl SweepRunner {
             executed: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             job_retries: AtomicU64::new(0),
+            dedup_joins: AtomicU64::new(0),
+            inflight: inflight::InFlightTable::new(),
             #[cfg(test)]
             injected_failures: parking_lot::Mutex::new(std::collections::VecDeque::new()),
         }
@@ -169,6 +190,7 @@ impl SweepRunner {
             cache_evictions: self.cache.evictions(),
             cache_corrupt_evictions: self.cache.corrupt_evictions(),
             job_retries: self.job_retries.load(Ordering::Relaxed),
+            dedup_joins: self.dedup_joins.load(Ordering::Relaxed),
         }
     }
 
@@ -293,6 +315,67 @@ impl SweepRunner {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(report);
         }
+        self.execute_uncached(&cfg, key)
+    }
+
+    /// One cell where the cache has already missed: run every cell
+    /// exactly once across concurrent callers. The first caller of a
+    /// key becomes its **leader** and simulates; callers arriving while
+    /// the leader runs become **followers** and block on the leader's
+    /// published result instead of duplicating the run. A failed leader
+    /// wakes its followers empty-handed and each retries from the top
+    /// (cache, then a fresh claim) — failures never cascade to cells
+    /// that could have succeeded on their own.
+    ///
+    /// This is the dedup hook the sweep service builds on: two clients
+    /// submitting overlapping specs share each overlapping cell's
+    /// single execution.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`SweepRunner::run`] would return for this cell.
+    pub fn run_shared(&self, cfg: SimConfig) -> Result<(SimReport, RunSource), RunnerError> {
+        let _span = vfc_obs::span("runner.job");
+        let key = cfg.cache_key();
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        vfc_obs::counter_add("runner.jobs", 1);
+        loop {
+            if let Some(report) = self.cache.get(key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((report, RunSource::CacheHit));
+            }
+            match self.inflight.claim(key) {
+                inflight::Claim::Leader(guard) => {
+                    return match self.execute_uncached(&cfg, key) {
+                        Ok(report) => {
+                            guard.publish(Some(report.clone()));
+                            Ok((report, RunSource::Executed))
+                        }
+                        Err(err) => {
+                            self.failures.fetch_add(1, Ordering::Relaxed);
+                            guard.publish(None);
+                            Err(err)
+                        }
+                    };
+                }
+                inflight::Claim::Follower(follower) => match follower.wait() {
+                    Some(report) => {
+                        self.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                        vfc_obs::counter_add("runner.dedup_joins", 1);
+                        return Ok((report, RunSource::Joined));
+                    }
+                    // The leader failed; loop and take the lead (or hit
+                    // the cache, if a later store landed meanwhile).
+                    None => continue,
+                },
+            }
+        }
+    }
+
+    /// The post-miss path shared by [`run_one`](Self::run_one) and
+    /// [`run_shared`](Self::run_shared): simulate with bounded retry,
+    /// then store.
+    fn execute_uncached(&self, cfg: &SimConfig, key: u64) -> Result<SimReport, RunnerError> {
         self.executed.fetch_add(1, Ordering::Relaxed);
         let label = cfg.label();
         // Transient failures (see `RunnerError::is_transient`) get a
@@ -301,14 +384,14 @@ impl SweepRunner {
         // reproduces the same error bit for bit.
         let mut attempt = 1u32;
         let report = loop {
-            match self.simulate(&cfg, &label) {
+            match self.simulate(cfg, &label) {
                 Ok(report) => break report,
                 Err(err) if err.is_transient() && attempt < MAX_JOB_ATTEMPTS => {
                     self.job_retries.fetch_add(1, Ordering::Relaxed);
                     vfc_obs::counter_add("runner.job_retries", 1);
-                    std::thread::sleep(std::time::Duration::from_millis(
-                        JOB_RETRY_BACKOFF_MS << (attempt - 1),
-                    ));
+                    std::thread::sleep(std::time::Duration::from_millis(retry_backoff_ms(
+                        key, attempt,
+                    )));
                     attempt += 1;
                 }
                 Err(err) => return Err(err),
@@ -352,6 +435,27 @@ const MAX_JOB_ATTEMPTS: u32 = 3;
 /// the transient failures worth retrying (filesystem blips) clear in
 /// milliseconds, and a sweep worker sleeping is a core idle.
 const JOB_RETRY_BACKOFF_MS: u64 = 10;
+
+/// The sleep before retry `attempt` (1-based) of the job keyed `key`:
+/// the doubling base with **deterministic seeded jitter** in
+/// `[base/2, 3·base/2)`. Jitter keeps a batch of workers that tripped
+/// over the same transient fault (one slow disk, one flaky mount) from
+/// re-hitting it in lockstep; seeding it from the cache key and attempt
+/// number — not a clock or global RNG — keeps every job's retry
+/// schedule reproducible run to run.
+fn retry_backoff_ms(key: u64, attempt: u32) -> u64 {
+    let base = JOB_RETRY_BACKOFF_MS << (attempt - 1);
+    // xorshift64* over (key, attempt): cheap, stateless, well-mixed.
+    let mut x = key ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    if x == 0 {
+        x = 0x2545_f491_4f6c_dd1d;
+    }
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    let mixed = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    base / 2 + mixed % base
+}
 
 #[cfg(test)]
 mod tests {
@@ -491,6 +595,96 @@ mod tests {
         let reports = runner.run_spec(&tiny_spec().seeds([1, 2])).unwrap();
         assert_eq!(reports.len(), 2);
         assert_eq!(runner.stats().executed, 2, "no false cache sharing");
+    }
+
+    #[test]
+    fn retry_backoff_is_jittered_deterministic_and_bounded() {
+        for attempt in 1..=2u32 {
+            let base = JOB_RETRY_BACKOFF_MS << (attempt - 1);
+            let mut distinct = std::collections::HashSet::new();
+            for key in 0..64u64 {
+                let ms = retry_backoff_ms(key, attempt);
+                assert_eq!(
+                    ms,
+                    retry_backoff_ms(key, attempt),
+                    "same key + attempt must sleep the same"
+                );
+                assert!(
+                    (base / 2..base + base / 2).contains(&ms),
+                    "attempt {attempt} key {key}: {ms} ms outside [{}, {})",
+                    base / 2,
+                    base + base / 2
+                );
+                distinct.insert(ms);
+            }
+            assert!(
+                distinct.len() > 1,
+                "different keys must desynchronize (attempt {attempt})"
+            );
+        }
+        // The zero key (xorshift's fixed point) must not hang at zero.
+        assert!(retry_backoff_ms(0, 1) >= JOB_RETRY_BACKOFF_MS / 2);
+    }
+
+    #[test]
+    fn run_shared_runs_concurrent_identical_cells_once() {
+        let runner = SweepRunner::new();
+        let cfg = tiny_spec().expand().remove(0);
+        let outcomes: Vec<(SimReport, RunSource)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cfg = cfg.clone();
+                    let runner = &runner;
+                    scope.spawn(move || runner.run_shared(cfg).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let stats = runner.stats();
+        assert_eq!(stats.executed, 1, "the shared cell must simulate once");
+        assert_eq!(stats.jobs, 4);
+        for (report, _) in &outcomes {
+            assert_eq!(report, &outcomes[0].0, "every caller gets the result");
+        }
+        let executed = outcomes
+            .iter()
+            .filter(|(_, s)| *s == RunSource::Executed)
+            .count();
+        assert_eq!(executed, 1, "exactly one leader");
+        assert_eq!(
+            stats.dedup_joins,
+            outcomes
+                .iter()
+                .filter(|(_, s)| *s == RunSource::Joined)
+                .count() as u64
+        );
+    }
+
+    #[test]
+    fn run_shared_serves_warm_cells_from_cache() {
+        let runner = SweepRunner::new();
+        let cfg = tiny_spec().expand().remove(0);
+        let (first, source) = runner.run_shared(cfg.clone()).unwrap();
+        assert_eq!(source, RunSource::Executed);
+        let (second, source) = runner.run_shared(cfg).unwrap();
+        assert_eq!(source, RunSource::CacheHit);
+        assert_eq!(first, second);
+        assert_eq!(runner.stats().executed, 1);
+    }
+
+    #[test]
+    fn run_shared_surfaces_failures_without_poisoning_the_key() {
+        let runner = SweepRunner::new();
+        let cfg = tiny_spec().expand().remove(0);
+        runner.inject_failures([RunnerError::Parse {
+            context: "injected".into(),
+            detail: "deterministic".into(),
+        }]);
+        assert!(runner.run_shared(cfg.clone()).is_err());
+        // The failed claim is released: the next caller leads and runs.
+        let (_, source) = runner.run_shared(cfg).unwrap();
+        assert_eq!(source, RunSource::Executed);
+        assert_eq!(runner.stats().failures, 1);
     }
 
     #[test]
